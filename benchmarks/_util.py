@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's quantitative artifacts
+(EXPERIMENTS.md E1-E8) and records the produced table under
+``benchmarks/results/`` so the run leaves an inspectable trace regardless
+of pytest's capture settings.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def record(name: str, text: str) -> None:
+    """Print a result table and persist it to benchmarks/results/<name>.txt."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    banner = f"==== {name} ===="
+    print(f"\n{banner}\n{text}\n")
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

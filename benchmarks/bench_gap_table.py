@@ -1,0 +1,35 @@
+"""E7 — the headline result: the exponential memory gap.
+
+On trees with ℓ = 4 leaves and growing n:
+
+- the delay-0 (Theorem 4.1) agent's memory stays flat (O(log ℓ + log log n));
+- the arbitrary-delay baseline's memory grows like log n — and Theorem 3.1
+  certifies that *no* o(log n)-bit agent can survive arbitrary delays on
+  lines of matching size (see E1).
+
+For polylog-leaf trees this is an exponential separation between the two
+scenarios' memory requirements, the paper's title claim.
+"""
+
+from _util import record
+
+from repro.analysis import format_gap_table, gap_table
+
+
+def test_gap_table(benchmark):
+    rows = benchmark.pedantic(
+        gap_table, kwargs={"subdivisions": (0, 1, 3, 7, 15, 31)},
+        rounds=1, iterations=1,
+    )
+    text = format_gap_table(rows)
+    delay0 = [r.delay0_bits for r in rows]
+    arb = [r.arbitrary_bits for r in rows]
+    text += (
+        "\n\nshape check: delay-0 bits flat in n "
+        f"(range {min(delay0)}..{max(delay0)}), "
+        f"arbitrary-delay bits grow with log n ({arb[0]} -> {arb[-1]})"
+    )
+    record("E7_gap_table", text)
+    assert all(r.delay0_met and r.arbitrary_met for r in rows)
+    assert max(delay0) - min(delay0) <= 4
+    assert arb == sorted(arb) and arb[-1] > arb[0]

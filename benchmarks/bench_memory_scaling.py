@@ -1,0 +1,41 @@
+"""E3 — Theorem 4.1 memory scaling: O(log ℓ + log log n), measured.
+
+Two curves:
+
+- bits vs n at fixed ℓ = 4 (subdivided complete binary trees): must be
+  essentially flat (the log log n term is sub-resolution at laptop scale);
+- bits vs ℓ at roughly fixed n (double brooms): must grow like log ℓ
+  (a constant increment per doubling of ℓ).
+"""
+
+from _util import record
+
+from repro.analysis import memory_vs_leaves, memory_vs_n_fixed_leaves
+
+
+def test_memory_flat_in_n(benchmark):
+    series, points = benchmark.pedantic(
+        memory_vs_n_fixed_leaves,
+        kwargs={"subdivisions": (0, 1, 3, 7, 15, 31)},
+        rounds=1,
+        iterations=1,
+    )
+    text = series.table("n (ℓ = 4 fixed)", "declared bits")
+    record("E3a_memory_vs_n", text)
+    assert all(p.met for p in points)
+    assert max(series.ys) - min(series.ys) <= 4
+
+
+def test_memory_log_in_leaves(benchmark):
+    series, points = benchmark.pedantic(
+        memory_vs_leaves,
+        kwargs={"leaf_counts": (4, 8, 16, 32), "total_nodes": 120},
+        rounds=1,
+        iterations=1,
+    )
+    text = series.table("leaves (n ~ fixed)", "declared bits")
+    diffs = [b - a for a, b in zip(series.ys, series.ys[1:])]
+    text += f"\nincrement per doubling of ℓ: {diffs}"
+    record("E3b_memory_vs_leaves", text)
+    assert all(p.met for p in points)
+    assert all(d > 0 for d in diffs)

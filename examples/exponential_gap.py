@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""The headline experiment: delays induce an exponential memory gap.
+
+Reproduces the paper's title claim on a family of trees with ℓ = 4 leaves
+and growing n (subdivided complete binary trees):
+
+- with simultaneous start (delay 0), the Theorem 4.1 agent's memory stays
+  flat — O(log ℓ + log log n);
+- with arbitrary delay, memory must grow like log n: the measured Θ(log n)
+  baseline tracks it from above, and the Theorem 3.1 adversary certifies
+  from below that b-bit agents die on lines of length O(2^b).
+
+Run:  python examples/exponential_gap.py
+"""
+
+from repro.agents import counting_walker
+from repro.analysis import format_gap_table, gap_table
+from repro.lowerbounds import build_thm31_instance
+
+
+def main() -> None:
+    print("Gap table (ℓ = 4, growing n; bits are declared register widths)")
+    rows = gap_table(subdivisions=(0, 1, 3, 7, 15))
+    print(format_gap_table(rows))
+    print()
+    print("delay-0 memory is flat in n; arbitrary-delay memory grows ~2·log n.")
+    print()
+
+    print("Theorem 3.1 evidence (lower bound side of the gap):")
+    print("for k-bit counting walkers, the certified defeating line grows ~2^k:")
+    print(f"{'bits':>6} {'defeating line edges':>22} {'delay':>7} {'certified':>10}")
+    for k in (1, 2, 3, 4, 5):
+        agent = counting_walker(k)
+        inst = build_thm31_instance(agent)
+        print(
+            f"{agent.memory_bits:>6} {inst.line_edges:>22} "
+            f"{inst.delay:>7} {str(inst.certified):>10}"
+        )
+    print()
+    print("Read together: to survive arbitrary delays on n-node lines an agent")
+    print("needs ~log n bits, while delay 0 needs only O(log ℓ + log log n) —")
+    print("an exponential gap for trees with polylogarithmically many leaves.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Watching the Theorem 4.1 agent think: phases, registers, memory.
+
+Runs one agent solo on an odd line (the symmetric-contraction stress case),
+recovers its stage timeline from the register events, and prints the
+memory ledger — the practical companion to docs/ALGORITHM.md.
+
+Run:  python examples/inside_the_algorithm.py
+"""
+
+from repro.analysis import format_timeline, stage_timeline
+from repro.core import estimate_round_budget, measure_memory, rendezvous_agent
+from repro.sim import run_solo
+from repro.trees import ascii_tree, line
+
+
+def main() -> None:
+    tree = line(9)
+    start = 0
+
+    print("The arena (an odd line — contraction is symmetric, so the agent")
+    print("runs the full Stage-2 machinery):")
+    print(ascii_tree(tree, root=start, marks={start: "start"}))
+    print()
+
+    run = run_solo(tree, start, rendezvous_agent(max_outer=2), 60_000)
+    print(f"solo run: {run.rounds} rounds recorded, finished={run.finished}")
+    print()
+    print("stage timeline (recovered from register first-writes):")
+    print(format_timeline(stage_timeline(run)))
+    print()
+
+    print("register event samples:")
+    for name in ("explo_nu", "synchro_arrivals", "prime_p", "outer_i"):
+        series = run.value_series(name)
+        head = ", ".join(f"r{r}={v}" for r, v in series[:4])
+        print(f"  {name:<18} {head}{' ...' if len(series) > 4 else ''}")
+    print()
+
+    report = measure_memory(
+        tree, start, rendezvous_agent(max_outer=2), estimate_round_budget(tree, 2)
+    )
+    print(f"memory ledger ({report.declared} declared bits):")
+    for name, (bound, peak) in report.registers.items():
+        print(f"  {name:<22} bound={bound:<6} peak={peak}")
+
+
+if __name__ == "__main__":
+    main()

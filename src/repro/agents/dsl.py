@@ -1,0 +1,117 @@
+"""A tiny movement DSL compiling to line automata.
+
+The lower-bound experiments need *families* of victim agents with
+prescribed movement patterns (drift, period, pauses).  Writing transition
+tables by hand is error-prone; this DSL compiles a movement script into a
+:class:`~repro.agents.automaton.LineAutomaton` that loops the script
+forever:
+
+>>> agent = compile_walker("F3 P2 B1")   # 3 forward, pause 2, 1 backward
+>>> agent.num_states
+6
+
+Script atoms (whitespace-separated, case-insensitive):
+
+``F<k>``  take k steps keeping direction (on a properly 2-edge-colored
+          line, keeping direction means alternating the emitted color);
+``B<k>``  turn around and take k steps the other way (the first of them
+          re-crosses the edge just used);
+``P<k>``  pause k rounds (null moves).
+
+The compiled automaton has one state per atom unit and loops; the circuit
+length is the total unit count and the first-pass displacement is
+:func:`script_drift` — handy knobs for Theorem 4.2's γ/extreme-position
+machinery.  (See :func:`script_drift` for the odd/even long-run caveat.)
+
+Caveat: direction semantics hold on 2-edge-colored lines (both lower-bound
+settings); on arbitrary labelings the color sequence is still deterministic
+but "forward" loses its geometric meaning.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import AgentProtocolError
+from .automaton import LineAutomaton
+from .observations import STAY
+
+__all__ = ["compile_walker", "parse_script", "script_drift", "script_period"]
+
+_ATOM = re.compile(r"^([FBP])(\d+)$", re.IGNORECASE)
+
+
+def parse_script(script: str) -> list[tuple[str, int]]:
+    """Parse a movement script into (op, count) atoms."""
+    atoms: list[tuple[str, int]] = []
+    for token in script.split():
+        m = _ATOM.match(token)
+        if not m:
+            raise AgentProtocolError(f"bad walker atom {token!r}")
+        op, count = m.group(1).upper(), int(m.group(2))
+        if count < 1:
+            raise AgentProtocolError(f"atom {token!r}: count must be >= 1")
+        atoms.append((op, count))
+    if not atoms:
+        raise AgentProtocolError("empty walker script")
+    if all(op == "P" for op, _ in atoms):
+        # pure pausing is fine (a lazy agent), but flag scripts that can
+        # never move at all? They are legal victims; keep them.
+        pass
+    return atoms
+
+
+def script_drift(script: str) -> int:
+    """Displacement of the script's *first* pass (forward minus backward).
+
+    Long-run caveat (a genuine property of colored lines, exercised by the
+    tests): a fixed cyclic color sequence displaces the walker by ±D per
+    pass depending on the entry parity.  When D is even, parity is
+    preserved and the walker drifts by D every pass; when D is odd, parity
+    flips each pass and the displacement alternates +D, -D — the walker is
+    *bounded* despite a nonzero per-pass drift.  The Theorem 4.2 builder
+    handles both cases (drifting vs bounded branches).
+    """
+    drift = 0
+    direction = 1
+    for op, count in parse_script(script):
+        if op == "F":
+            drift += direction * count
+        elif op == "B":
+            direction = -direction
+            drift += direction * count
+    return drift
+
+
+def script_period(script: str) -> int:
+    """Rounds per loop of the script (every unit costs one round)."""
+    return sum(count for _, count in parse_script(script))
+
+
+def compile_walker(script: str) -> LineAutomaton:
+    """Compile a movement script into a looping line automaton.
+
+    Colors are assigned so that consecutive moves in the same direction
+    alternate (staying on course on a colored line) and a ``B`` atom's
+    first move re-emits the previous color (re-crossing the last edge).
+    Pauses do not change the color phase.  The emitted color of the very
+    first move is 0.
+    """
+    atoms = parse_script(script)
+    outputs: list[int] = []
+    next_color = 0
+    last_color = 1  # so that an initial B behaves like F (nothing to undo)
+    for op, count in atoms:
+        if op == "P":
+            outputs.extend([STAY] * count)
+            continue
+        if op == "B":
+            # turn: first move re-takes the last color used
+            next_color = last_color
+        for _ in range(count):
+            outputs.append(next_color)
+            last_color = next_color
+            next_color = 1 - next_color
+    num = len(outputs)
+    transitions = [((s + 1) % num, (s + 1) % num) for s in range(num)]
+    return LineAutomaton(transitions, outputs)

@@ -1,0 +1,120 @@
+"""A small zoo of concrete finite-state agents.
+
+The lower-bound theorems quantify over *all* agents with a given memory; the
+experiments instantiate them against concrete "victim" automata.  This
+module provides structured families whose state counts scale with a
+parameter, plus fully random automata:
+
+- :func:`alternator` — 2 states, alternates exit ports (a persistent walker
+  on 2-edge-colored lines);
+- :func:`counting_walker` — ~``2^k`` states: walks with a k-bit step counter
+  and flips phase on wrap (a natural "walk far, then turn" strategy);
+- :func:`pausing_walker` — walker that idles ``p`` rounds between moves
+  (exercises the Parity Lemma machinery: null moves shift parity);
+- :func:`random_tree_automaton` — uniform victim for trees of max degree 3
+  (Thm 4.3 experiments).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from .automaton import Automaton, LineAutomaton
+from .observations import STAY
+
+__all__ = [
+    "alternator",
+    "counting_walker",
+    "pausing_walker",
+    "random_tree_automaton",
+]
+
+
+def alternator() -> LineAutomaton:
+    """Two states emitting ports 0, 1, 0, 1, ... at every node.
+
+    On a properly 2-edge-colored line this keeps a consistent direction on
+    the interior (consecutive edges alternate colors) and turns around at
+    endpoints (port taken mod 1).
+    """
+    # state 0 emits port 0, state 1 emits port 1; both degree observations advance.
+    return LineAutomaton(degree_transition=[(1, 1), (0, 0)], output=[0, 1])
+
+
+def counting_walker(k: int) -> LineAutomaton:
+    """A walker with a k-bit step counter: ``2^(k+1)`` states.
+
+    States are pairs ``(phase, c)`` with ``c`` counting ``0 .. 2^k - 1``;
+    the output alternates with ``c`` (so the interior walk keeps direction)
+    and the phase flips when the counter wraps, reversing the alternation
+    (so the agent turns around roughly every ``2^k`` steps).  Memory is
+    ``k + 1`` bits — the family used to trace the Thm 3.1 curve
+    "memory bits vs size of the defeating instance".
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    period = 2**k
+
+    def sid(phase: int, c: int) -> int:
+        return phase * period + c
+
+    transitions: list[tuple[int, int]] = []
+    outputs: list[int] = []
+    for phase in range(2):
+        for c in range(period):
+            c2 = (c + 1) % period
+            phase2 = phase ^ (1 if c2 == 0 else 0)
+            nxt = sid(phase2, c2)
+            transitions.append((nxt, nxt))
+            outputs.append((phase + c) % 2)
+    return LineAutomaton(degree_transition=transitions, output=outputs)
+
+
+def pausing_walker(pause: int) -> LineAutomaton:
+    """Moves one step, then stays idle ``pause`` rounds, perpetually.
+
+    ``pause + 2`` states.  Null moves make the inter-agent distance parity
+    drift, which exercises the Parity Lemma (Lemma 4.4) paths of the
+    simulator and the Thm 4.2 construction.
+    """
+    if pause < 0:
+        raise ValueError("pause must be >= 0")
+    # States: 0 = emit port 0, 1 = emit port 1, 2.. = idle countdown.
+    # Cycle: move(0) -> idle*pause -> move(1) -> idle*pause -> move(0) ...
+    num = 2 * (pause + 1)
+    transitions: list[tuple[int, int]] = []
+    outputs: list[int] = []
+    for s in range(num):
+        nxt = (s + 1) % num
+        transitions.append((nxt, nxt))
+        block = s // (pause + 1)  # 0 or 1: which move this block ends with
+        offset = s % (pause + 1)
+        outputs.append(block if offset == 0 else STAY)
+    return LineAutomaton(degree_transition=transitions, output=outputs)
+
+
+def random_tree_automaton(
+    num_states: int,
+    max_degree: int = 3,
+    rng: Optional[random.Random] = None,
+    stay_prob: float = 0.1,
+) -> Automaton:
+    """A uniformly random agent for trees of bounded degree.
+
+    The transition table covers every observation ``(in_port, degree)`` with
+    ``in_port ∈ {-1, 0, .., max_degree-1}`` and ``degree ∈ {1, .., max_degree}``;
+    outputs are ``STAY`` with probability ``stay_prob``, else a random port
+    index in ``0 .. max_degree - 1`` (applied mod the local degree).
+    """
+    rng = rng or random.Random()
+    table: dict[tuple[int, int, int], int] = {}
+    for s in range(num_states):
+        for in_port in range(-1, max_degree):
+            for degree in range(1, max_degree + 1):
+                table[(s, in_port, degree)] = rng.randrange(num_states)
+    output = [
+        STAY if rng.random() < stay_prob else rng.randrange(max_degree)
+        for _ in range(num_states)
+    ]
+    return Automaton(num_states, table, output)

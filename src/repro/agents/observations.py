@@ -1,0 +1,63 @@
+"""The agent/environment interface of the paper's model (§2.1).
+
+Per round an agent receives an *observation* and emits an *action*:
+
+observation
+    ``(in_port, degree)`` — the port through which it entered the current
+    node (or ``NULL_PORT == -1`` if its previous move was null / it has not
+    moved yet) and the degree of the current node.
+
+action
+    Either ``STAY == -1`` (null move) or a non-negative integer ``a``; the
+    agent then leaves through port ``a mod degree`` (the paper's
+    ``λ(s') mod d`` convention, which lets an automaton emit a fixed number
+    regardless of the local degree).
+
+:class:`AgentBase` is the minimal duck type the synchronous simulator
+drives.  Both explicit automata (:mod:`repro.agents.automaton`) and
+register programs (:mod:`repro.agents.program`) implement it.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+__all__ = ["STAY", "NULL_PORT", "AgentBase", "resolve_action"]
+
+STAY: int = -1
+NULL_PORT: int = -1
+
+
+def resolve_action(action: int, degree: int) -> int:
+    """Map a raw action to a concrete move: ``STAY`` or a port ``< degree``.
+
+    Implements the paper's ``λ(s') mod d`` rule.  A node of degree 0 (the
+    one-node tree) forces a null move.
+    """
+    if action == STAY or degree == 0:
+        return STAY
+    return action % degree
+
+
+@runtime_checkable
+class AgentBase(Protocol):
+    """What the simulator requires of an agent.
+
+    Implementations must be *deterministic* and must not inspect anything
+    beyond the observations (anonymity).  ``clone()`` returns a fresh copy in
+    the initial state — the simulator clones one prototype to get the two
+    identical agents of the rendezvous problem.
+    """
+
+    def start(self, degree: int) -> int:
+        """Action of the very first round, given the start node's degree."""
+        ...
+
+    def step(self, in_port: int, degree: int) -> int:
+        """Action after observing ``(in_port, degree)``; ``in_port`` is
+        ``NULL_PORT`` if the previous action was a null move."""
+        ...
+
+    def clone(self) -> "AgentBase":
+        """A fresh agent in the initial state."""
+        ...

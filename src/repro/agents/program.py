@@ -1,0 +1,177 @@
+"""Register-program agents: bounded-memory programs driven as generators.
+
+The upper-bound algorithm of Theorem 4.1 is far more readable as a program
+with a handful of bounded counters than as an explicit transition table, so
+this module provides the *register machine* view of an agent:
+
+- an :class:`AgentProgram` wraps a generator function; the generator yields
+  actions (``STAY`` or a port) and receives the next observation
+  ``(in_port, degree)`` at each yield;
+- a :class:`Registers` bank records every bounded counter the program
+  declares, giving both the *analytic* memory cost (sum of declared bit
+  widths — what the paper's O(log ℓ + log log n) statement counts) and the
+  *empirical* one (bits for the largest values actually stored);
+- :class:`Ctx` + :func:`move`/:func:`stay` give subroutines imperative
+  syntax (``yield from move(ctx, port)``) while staying round-accurate.
+
+When the generator returns, the agent is considered to *wait forever* (the
+rendezvous algorithms end by waiting at a node).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Generator
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..errors import AgentProtocolError
+from .observations import STAY
+
+__all__ = ["Registers", "Ctx", "move", "stay", "AgentProgram", "ProgramFactory"]
+
+# A subroutine yields actions (int) and receives observations (in_port, degree).
+Routine = Generator[int, tuple[int, int], Any]
+
+
+class Registers:
+    """A bank of named bounded counters with bit accounting.
+
+    ``declare(name, bound)`` registers a counter taking values in
+    ``0 .. bound`` (inclusive) and costs ``ceil(log2(bound+1))`` bits.
+    Assignments through ``__setitem__`` are range-checked, so a program that
+    exceeds its declared memory fails loudly instead of silently cheating
+    the memory model.
+    """
+
+    def __init__(self) -> None:
+        self._bounds: dict[str, int] = {}
+        self._values: dict[str, int] = {}
+        self._peaks: dict[str, int] = {}
+
+    def declare(self, name: str, bound: int, initial: int = 0) -> None:
+        if bound < 0:
+            raise AgentProtocolError(f"register {name!r}: bound must be >= 0")
+        if name in self._bounds:
+            # Re-declaration widens the register (used by doubling schemes).
+            self._bounds[name] = max(self._bounds[name], bound)
+        else:
+            self._bounds[name] = bound
+            self._peaks[name] = 0
+        self[name] = initial
+
+    def __setitem__(self, name: str, value: int) -> None:
+        bound = self._bounds.get(name)
+        if bound is None:
+            raise AgentProtocolError(f"register {name!r} was never declared")
+        if not (0 <= value <= bound):
+            raise AgentProtocolError(
+                f"register {name!r} = {value} exceeds declared bound {bound}"
+            )
+        self._values[name] = value
+        if value > self._peaks[name]:
+            self._peaks[name] = value
+
+    def __getitem__(self, name: str) -> int:
+        return self._values[name]
+
+    def bits_declared(self) -> int:
+        """Analytic memory: sum of declared register widths, in bits."""
+        return sum(
+            max(1, math.ceil(math.log2(b + 1))) for b in self._bounds.values()
+        )
+
+    def bits_used(self) -> int:
+        """Empirical memory: widths needed for the peak values stored."""
+        return sum(
+            max(1, math.ceil(math.log2(p + 1))) for p in self._peaks.values()
+        )
+
+    def report(self) -> dict[str, tuple[int, int]]:
+        """Per-register ``(declared bound, peak value)``."""
+        return {k: (self._bounds[k], self._peaks[k]) for k in sorted(self._bounds)}
+
+
+@dataclass
+class Ctx:
+    """The walker's current observation, shared across subroutines."""
+
+    in_port: int
+    degree: int
+    rounds: int = 0
+
+
+def move(ctx: Ctx, port: int) -> Routine:
+    """Take one step through ``port`` (mod degree); update ``ctx``."""
+    obs = yield port
+    ctx.in_port, ctx.degree = obs
+    ctx.rounds += 1
+
+
+def stay(ctx: Ctx, rounds: int = 1) -> Routine:
+    """Make ``rounds`` null moves."""
+    for _ in range(rounds):
+        obs = yield STAY
+        ctx.in_port, ctx.degree = obs
+        ctx.rounds += 1
+
+
+ProgramFactory = Callable[..., Routine]
+
+
+class AgentProgram:
+    """Adapter: a generator program behind the :class:`AgentBase` protocol.
+
+    Parameters
+    ----------
+    factory:
+        Called as ``factory(start_degree, registers, *args, **kwargs)``;
+        must return a routine generator.
+    """
+
+    def __init__(self, factory: ProgramFactory, *args: Any, **kwargs: Any) -> None:
+        self._factory = factory
+        self._args = args
+        self._kwargs = kwargs
+        self._gen: Optional[Routine] = None
+        self._done = False
+        self.registers = Registers()
+
+    # -- AgentBase protocol -------------------------------------------------
+    def start(self, degree: int) -> int:
+        self.registers = Registers()
+        self._done = False
+        self._gen = self._factory(degree, self.registers, *self._args, **self._kwargs)
+        try:
+            return next(self._gen)
+        except StopIteration:
+            self._done = True
+            return STAY
+
+    def step(self, in_port: int, degree: int) -> int:
+        if self._done or self._gen is None:
+            return STAY
+        try:
+            return self._gen.send((in_port, degree))
+        except StopIteration:
+            self._done = True
+            return STAY
+
+    def clone(self) -> "AgentProgram":
+        return AgentProgram(self._factory, *self._args, **self._kwargs)
+
+    # -- introspection ------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        """True once the program returned (the agent waits forever)."""
+        return self._done
+
+    def memory_bits_declared(self) -> int:
+        return self.registers.bits_declared()
+
+    def memory_bits_used(self) -> int:
+        return self.registers.bits_used()
+
+    def __repr__(self) -> str:
+        name = getattr(self._factory, "__name__", "program")
+        return f"AgentProgram({name})"

@@ -1,0 +1,61 @@
+"""Experiment drivers: feasibility classification, sweeps, the gap table."""
+
+from .exhaustive import (
+    ExhaustiveReport,
+    verify_fact_11_impossibility,
+    verify_theorem_41,
+)
+from .feasibility import (
+    FeasibilitySummary,
+    PairClass,
+    classify_all_pairs,
+    classify_pair,
+    summarize_tree,
+)
+from .gap import GapRow, format_gap_table, gap_table
+from .tradeoff import TradeoffRow, reps_factor_tradeoff, stress_instances
+from .phases import Phase, format_timeline, stage_timeline
+from .report import ReportScale, generate_report
+from .stats import Series, fit_loglog_slope, geometric_mean, growth_ratios
+from .sweep import (
+    SweepPoint,
+    memory_vs_leaves,
+    memory_vs_n_fixed_leaves,
+    prime_rounds_vs_path_length,
+    success_sweep,
+    thm31_size_vs_bits,
+    thm42_size_vs_bits,
+)
+
+__all__ = [
+    "classify_pair",
+    "ExhaustiveReport",
+    "verify_theorem_41",
+    "verify_fact_11_impossibility",
+    "classify_all_pairs",
+    "PairClass",
+    "FeasibilitySummary",
+    "summarize_tree",
+    "gap_table",
+    "format_gap_table",
+    "GapRow",
+    "Series",
+    "growth_ratios",
+    "fit_loglog_slope",
+    "geometric_mean",
+    "SweepPoint",
+    "memory_vs_n_fixed_leaves",
+    "memory_vs_leaves",
+    "prime_rounds_vs_path_length",
+    "thm31_size_vs_bits",
+    "thm42_size_vs_bits",
+    "success_sweep",
+    "TradeoffRow",
+    "reps_factor_tradeoff",
+    "stress_instances",
+    "Phase",
+    "stage_timeline",
+    "format_timeline",
+    "ReportScale",
+    "generate_report",
+]

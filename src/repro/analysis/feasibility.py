@@ -1,0 +1,104 @@
+"""Feasibility classification (Fact 1.1 and §1's taxonomy).
+
+For a tree and a pair of start nodes, classify:
+
+- *perfectly symmetrizable* — no identical deterministic agents can ever
+  rendezvous under Definition 1.1 (quantified over labelings);
+- *topologically symmetric but not perfectly symmetrizable* — the paper's
+  interesting class (odd lines' endpoints, complete binary tree leaves);
+- *asymmetric* — not even topologically symmetric.
+
+Also provides per-tree summaries used by the experiment drivers and the
+examples.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..trees.automorphism import (
+    are_topologically_symmetric,
+    has_symmetrizing_labeling,
+    perfectly_symmetrizable,
+)
+from ..trees.center import find_center
+from ..trees.tree import Tree
+
+__all__ = [
+    "PairClass",
+    "classify_pair",
+    "classify_all_pairs",
+    "FeasibilitySummary",
+    "summarize_tree",
+]
+
+
+PERFECTLY_SYMMETRIZABLE = "perfectly_symmetrizable"
+SYMMETRIC_FEASIBLE = "topologically_symmetric_feasible"
+ASYMMETRIC = "asymmetric"
+
+
+@dataclass(frozen=True)
+class PairClass:
+    """Classification of one start pair."""
+
+    u: int
+    v: int
+    kind: str
+
+    @property
+    def feasible(self) -> bool:
+        """Fact 1.1: rendezvous solvable iff not perfectly symmetrizable."""
+        return self.kind != PERFECTLY_SYMMETRIZABLE
+
+
+def classify_pair(tree: Tree, u: int, v: int) -> PairClass:
+    if perfectly_symmetrizable(tree, u, v):
+        return PairClass(u, v, PERFECTLY_SYMMETRIZABLE)
+    if are_topologically_symmetric(tree, u, v):
+        return PairClass(u, v, SYMMETRIC_FEASIBLE)
+    return PairClass(u, v, ASYMMETRIC)
+
+
+def classify_all_pairs(tree: Tree) -> Iterator[PairClass]:
+    for u, v in itertools.combinations(range(tree.n), 2):
+        yield classify_pair(tree, u, v)
+
+
+@dataclass(frozen=True)
+class FeasibilitySummary:
+    """Counts of pair classes plus structural facts for one tree."""
+
+    n: int
+    leaves: int
+    center_kind: str  # "node" or "edge"
+    symmetrizable_tree: bool  # some labeling admits a nontrivial automorphism
+    pairs_total: int
+    pairs_perfectly_symmetrizable: int
+    pairs_symmetric_feasible: int
+    pairs_asymmetric: int
+
+    @property
+    def pairs_feasible(self) -> int:
+        return self.pairs_symmetric_feasible + self.pairs_asymmetric
+
+
+def summarize_tree(tree: Tree) -> FeasibilitySummary:
+    counts = {PERFECTLY_SYMMETRIZABLE: 0, SYMMETRIC_FEASIBLE: 0, ASYMMETRIC: 0}
+    total = 0
+    for pc in classify_all_pairs(tree):
+        counts[pc.kind] += 1
+        total += 1
+    center = find_center(tree)
+    return FeasibilitySummary(
+        n=tree.n,
+        leaves=tree.num_leaves,
+        center_kind="node" if center.is_node else "edge",
+        symmetrizable_tree=has_symmetrizing_labeling(tree),
+        pairs_total=total,
+        pairs_perfectly_symmetrizable=counts[PERFECTLY_SYMMETRIZABLE],
+        pairs_symmetric_feasible=counts[SYMMETRIC_FEASIBLE],
+        pairs_asymmetric=counts[ASYMMETRIC],
+    )

@@ -1,0 +1,347 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+solve        run the Theorem 4.1 agent on a generated tree
+baseline     run the arbitrary-delay baseline under a chosen delay
+atlas        feasibility classification over all trees of a given size
+gap          print the headline exponential-gap table (E7)
+thm31        build + certify the Theorem 3.1 adversary for a walker family
+thm42        build + certify the Theorem 4.2 adversary
+thm43        build + certify the Theorem 4.3 adversary
+verify       exhaustive Theorem 4.1 / Fact 1.1 verification
+gather       gather k identical agents (the extension of §1.3)
+viz          render a tree as ASCII art or Graphviz DOT
+report       regenerate the experiment report as markdown
+experiments  run every experiment table (E1-E8) and print them
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from collections.abc import Sequence
+from typing import Optional
+
+from .trees import (
+    Tree,
+    binomial_tree,
+    complete_binary_tree,
+    line,
+    random_relabel,
+    random_tree,
+    spider,
+    star,
+    subdivide,
+)
+
+__all__ = ["main", "build_tree"]
+
+
+def build_tree(spec: str, seed: int = 0) -> Tree:
+    """Parse a tree spec: ``line:9``, ``star:5``, ``binary:3``, ``binomial:4``,
+    ``spider:2,3,4``, ``random:20``, ``subdivided:3`` (binary(2) base)."""
+    kind, _, arg = spec.partition(":")
+    rng = random.Random(seed)
+    if kind == "line":
+        return line(int(arg))
+    if kind == "star":
+        return star(int(arg))
+    if kind == "binary":
+        return complete_binary_tree(int(arg))
+    if kind == "binomial":
+        return binomial_tree(int(arg))
+    if kind == "spider":
+        return spider([int(x) for x in arg.split(",")])
+    if kind == "random":
+        return random_tree(int(arg), rng)
+    if kind == "subdivided":
+        return subdivide(complete_binary_tree(2), int(arg))
+    raise SystemExit(f"unknown tree spec {spec!r}")
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from .analysis import classify_pair
+    from .core import solve
+
+    tree = build_tree(args.tree, args.seed)
+    if args.relabel:
+        tree = random_relabel(tree, random.Random(args.seed))
+    pc = classify_pair(tree, args.u, args.v)
+    print(f"{tree}; pair ({args.u}, {args.v}): {pc.kind}")
+    if not pc.feasible:
+        print("infeasible (perfectly symmetrizable): no identical agents can meet")
+        return 1
+    result = solve(tree, args.u, args.v, max_outer=args.max_outer)
+    print(
+        f"met={result.met} round={result.outcome.meeting_round} "
+        f"node={result.outcome.meeting_node}"
+    )
+    return 0 if result.met else 2
+
+
+def _cmd_baseline(args: argparse.Namespace) -> int:
+    from .core import solve_with_delay
+
+    tree = build_tree(args.tree, args.seed)
+    if args.relabel:
+        tree = random_relabel(tree, random.Random(args.seed))
+    result = solve_with_delay(tree, args.u, args.v, args.delay, delayed=args.delayed)
+    print(
+        f"{tree}; delay={args.delay} on agent {args.delayed}: "
+        f"met={result.met} round={result.outcome.meeting_round}"
+    )
+    return 0 if result.met else 2
+
+
+def _cmd_atlas(args: argparse.Namespace) -> int:
+    from .analysis import summarize_tree
+    from .trees import all_trees
+
+    print(f"{'tree#':>6} {'leaves':>6} {'center':>7} {'infeas':>7} "
+          f"{'sym-feas':>9} {'asym':>6}")
+    for idx, t in enumerate(all_trees(args.n)):
+        s = summarize_tree(t)
+        print(
+            f"{idx:>6} {s.leaves:>6} {s.center_kind:>7} "
+            f"{s.pairs_perfectly_symmetrizable:>7} "
+            f"{s.pairs_symmetric_feasible:>9} {s.pairs_asymmetric:>6}"
+        )
+    return 0
+
+
+def _cmd_gap(args: argparse.Namespace) -> int:
+    from .analysis import format_gap_table, gap_table
+
+    subdivisions = tuple(int(x) for x in args.subdivisions.split(","))
+    print(format_gap_table(gap_table(subdivisions=subdivisions)))
+    return 0
+
+
+def _cmd_thm31(args: argparse.Namespace) -> int:
+    from .agents import counting_walker
+    from .lowerbounds import build_thm31_instance
+
+    print(f"{'bits':>5} {'edges':>6} {'kind':>9} {'delay':>6} {'certified':>10}")
+    for k in range(1, args.max_k + 1):
+        agent = counting_walker(k)
+        inst = build_thm31_instance(agent)
+        print(
+            f"{agent.memory_bits:>5} {inst.line_edges:>6} {inst.kind:>9} "
+            f"{inst.delay:>6} {str(inst.certified):>10}"
+        )
+    return 0
+
+
+def _cmd_thm42(args: argparse.Namespace) -> int:
+    from .agents import alternator, pausing_walker
+    from .lowerbounds import build_thm42_instance
+
+    agents = [("alternator", alternator())] + [
+        (f"pausing({p})", pausing_walker(p)) for p in range(1, args.max_pause + 1)
+    ]
+    print(f"{'agent':>12} {'bits':>5} {'gamma':>6} {'edges':>6} {'certified':>10}")
+    for name, agent in agents:
+        inst = build_thm42_instance(agent)
+        print(
+            f"{name:>12} {agent.memory_bits:>5} {inst.gamma:>6} "
+            f"{inst.line_edges:>6} {str(inst.certified):>10}"
+        )
+    return 0
+
+
+def _cmd_thm43(args: argparse.Namespace) -> int:
+    from .agents import random_tree_automaton
+    from .errors import ConstructionError
+    from .lowerbounds import build_thm43_instance
+
+    rng = random.Random(args.seed)
+    agent = random_tree_automaton(args.states, rng=rng)
+    try:
+        inst = build_thm43_instance(agent, args.i)
+    except ConstructionError as exc:
+        print(f"no defeating instance: {exc}")
+        return 1
+    print(
+        f"agent: {agent.num_states} states; ℓ = {inst.ell}; "
+        f"two-sided tree n = {inst.tree.n}; certified = {inst.certified}"
+    )
+    print(f"side 1 choices: {inst.side1.choices}")
+    print(f"side 2 choices: {inst.side2.choices}")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from .analysis import verify_fact_11_impossibility, verify_theorem_41
+
+    print(f"Theorem 4.1 exhaustive check up to n = {args.n} ...")
+    rep = verify_theorem_41(max_n=args.n, random_labelings=args.labelings)
+    print(f"  trees: {rep.trees_checked}, instances: {rep.instances}, "
+          f"failures: {len(rep.failures)}")
+    if not rep.ok:
+        return 1
+    print("Fact 1.1 impossibility check (observational) ...")
+    rep2 = verify_fact_11_impossibility(max_n=min(args.n, 6))
+    print(f"  trees: {rep2.trees_checked}, instances: {rep2.instances}, "
+          f"failures: {len(rep2.failures)}")
+    return 0 if rep2.ok else 1
+
+
+def _cmd_gather(args: argparse.Namespace) -> int:
+    from .core import gather
+
+    tree = build_tree(args.tree, args.seed)
+    if args.relabel:
+        tree = random_relabel(tree, random.Random(args.seed))
+    starts = [int(x) for x in args.starts.split(",")]
+    delays = [int(x) for x in args.delays.split(",")] if args.delays else None
+    outcome, regime = gather(tree, starts, delays=delays)
+    print(f"{tree}; regime: {regime.kind} (guaranteed: {regime.guaranteed})")
+    print(f"gathered={outcome.gathered} round={outcome.gathering_round} "
+          f"node={outcome.gathering_node}")
+    return 0 if outcome.gathered else 2
+
+
+def _cmd_viz(args: argparse.Namespace) -> int:
+    from .trees import ascii_tree, to_dot
+
+    tree = build_tree(args.tree, args.seed)
+    if args.relabel:
+        tree = random_relabel(tree, random.Random(args.seed))
+    marks = {}
+    if args.marks:
+        for item in args.marks.split(","):
+            node, _, label = item.partition("=")
+            marks[int(node)] = label or "*"
+    if args.dot:
+        print(to_dot(tree, marks=marks))
+    else:
+        print(ascii_tree(tree, marks=marks))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .analysis import ReportScale, generate_report
+
+    scale = ReportScale.full() if args.full else ReportScale.quick()
+    text = generate_report(scale)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from .analysis import (
+        format_gap_table,
+        gap_table,
+        memory_vs_leaves,
+        memory_vs_n_fixed_leaves,
+        prime_rounds_vs_path_length,
+        thm31_size_vs_bits,
+    )
+
+    print("# E1 Thm 3.1 (defeating size vs bits)")
+    print(thm31_size_vs_bits((1, 2, 3, 4)).table("bits", "edges"))
+    print("\n# E3a memory vs n (ℓ = 4)")
+    print(memory_vs_n_fixed_leaves((0, 1, 3, 7))[0].table("n", "bits"))
+    print("\n# E3b memory vs leaves")
+    print(memory_vs_leaves((4, 8, 16), total_nodes=80)[0].table("leaves", "bits"))
+    print("\n# E4 prime rounds")
+    print(prime_rounds_vs_path_length((5, 9, 17, 33)).table("m", "rounds"))
+    print("\n# E7 gap table")
+    print(format_gap_table(gap_table(subdivisions=(0, 1, 3, 7))))
+    return 0
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Fraigniaud-Pelc (SPAA 2010): rendezvous in trees",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("solve", help="run the Theorem 4.1 agent")
+    p.add_argument("--tree", default="binary:3", help="tree spec, e.g. line:9")
+    p.add_argument("-u", type=int, default=7)
+    p.add_argument("-v", type=int, default=14)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--relabel", action="store_true", help="random port labeling")
+    p.add_argument("--max-outer", type=int, default=10, dest="max_outer")
+    p.set_defaults(fn=_cmd_solve)
+
+    p = sub.add_parser("baseline", help="run the arbitrary-delay baseline")
+    p.add_argument("--tree", default="line:9")
+    p.add_argument("-u", type=int, default=1)
+    p.add_argument("-v", type=int, default=5)
+    p.add_argument("--delay", type=int, default=7)
+    p.add_argument("--delayed", type=int, default=2, choices=(1, 2))
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--relabel", action="store_true")
+    p.set_defaults(fn=_cmd_baseline)
+
+    p = sub.add_parser("atlas", help="feasibility atlas over all n-node trees")
+    p.add_argument("-n", type=int, default=7)
+    p.set_defaults(fn=_cmd_atlas)
+
+    p = sub.add_parser("gap", help="the headline gap table")
+    p.add_argument("--subdivisions", default="0,1,3,7")
+    p.set_defaults(fn=_cmd_gap)
+
+    p = sub.add_parser("thm31", help="Theorem 3.1 adversary sweep")
+    p.add_argument("--max-k", type=int, default=4, dest="max_k")
+    p.set_defaults(fn=_cmd_thm31)
+
+    p = sub.add_parser("thm42", help="Theorem 4.2 adversary sweep")
+    p.add_argument("--max-pause", type=int, default=3, dest="max_pause")
+    p.set_defaults(fn=_cmd_thm42)
+
+    p = sub.add_parser("thm43", help="Theorem 4.3 adversary")
+    p.add_argument("--states", type=int, default=3)
+    p.add_argument("-i", type=int, default=5, help="ℓ = 2i leaves")
+    p.add_argument("--seed", type=int, default=41)
+    p.set_defaults(fn=_cmd_thm43)
+
+    p = sub.add_parser("verify", help="exhaustive Thm 4.1 / Fact 1.1 verification")
+    p.add_argument("-n", type=int, default=6)
+    p.add_argument("--labelings", type=int, default=1)
+    p.set_defaults(fn=_cmd_verify)
+
+    p = sub.add_parser("gather", help="gather k identical agents")
+    p.add_argument("--tree", default="spider:2,3,4")
+    p.add_argument("--starts", default="1,4,8")
+    p.add_argument("--delays", default="")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--relabel", action="store_true")
+    p.set_defaults(fn=_cmd_gather)
+
+    p = sub.add_parser("viz", help="render a tree (ASCII, or DOT with --dot)")
+    p.add_argument("--tree", default="binary:2")
+    p.add_argument("--marks", default="", help="e.g. 3=agent1,6=agent2")
+    p.add_argument("--dot", action="store_true")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--relabel", action="store_true")
+    p.set_defaults(fn=_cmd_viz)
+
+    p = sub.add_parser("report", help="regenerate the experiment report (markdown)")
+    p.add_argument("--full", action="store_true", help="EXPERIMENTS.md scale")
+    p.add_argument("-o", "--output", default="", help="write to a file")
+    p.set_defaults(fn=_cmd_report)
+
+    p = sub.add_parser("experiments", help="run the main experiment tables")
+    p.set_defaults(fn=_cmd_experiments)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,82 @@
+"""The paper's rendezvous algorithms (the primary contribution).
+
+- :mod:`repro.core.explo` — Explo / Explo-bis (Fact 2.1);
+- :mod:`repro.core.synchro` — resynchronization (Sub-stage 2.1);
+- :mod:`repro.core.prime_walk` — the prime-speed path protocol (Lemma 4.1);
+- :mod:`repro.core.rendezvous_path` — the virtual path P (Claim 4.3);
+- :mod:`repro.core.algorithm` — the full O(log ℓ + log log n) agent (Thm 4.1);
+- :mod:`repro.core.baseline` — the arbitrary-delay Θ(log n) baseline;
+- :mod:`repro.core.rendezvous` — the public ``solve`` API;
+- :mod:`repro.core.memory` — bit accounting and reference curves.
+"""
+
+from .algorithm import rendezvous_agent, rendezvous_program
+from .baseline import baseline_agent, baseline_program, invariant_rank
+from .gathering import GatheringRegime, classify_gathering, gather
+from .explo import (
+    CENTRAL_EDGE_ASYMMETRIC,
+    CENTRAL_EDGE_SYMMETRIC,
+    CENTRAL_NODE,
+    ExploResult,
+    explo_bis_routine,
+    explo_routine,
+    walk_to_branching_count,
+)
+from .memory import (
+    MemoryReport,
+    log_bits,
+    loglog_bits,
+    measure_memory,
+    memory_report,
+    upper_bound_bits,
+)
+from .prime_walk import (
+    LineNavigator,
+    blind_rendezvous_feasible,
+    is_prime,
+    next_prime,
+    nth_prime,
+    prime_line_agent,
+    prime_rendezvous_routine,
+)
+from .rendezvous import SolveResult, estimate_round_budget, solve, solve_with_delay
+from .rendezvous_path import RendezvousPathNavigator, rendezvous_path_num_edges
+from .synchro import synchro_routine
+
+__all__ = [
+    "rendezvous_agent",
+    "gather",
+    "classify_gathering",
+    "GatheringRegime",
+    "rendezvous_program",
+    "baseline_agent",
+    "baseline_program",
+    "invariant_rank",
+    "ExploResult",
+    "explo_routine",
+    "explo_bis_routine",
+    "walk_to_branching_count",
+    "CENTRAL_NODE",
+    "CENTRAL_EDGE_ASYMMETRIC",
+    "CENTRAL_EDGE_SYMMETRIC",
+    "synchro_routine",
+    "prime_line_agent",
+    "prime_rendezvous_routine",
+    "LineNavigator",
+    "is_prime",
+    "next_prime",
+    "nth_prime",
+    "blind_rendezvous_feasible",
+    "RendezvousPathNavigator",
+    "rendezvous_path_num_edges",
+    "solve",
+    "solve_with_delay",
+    "SolveResult",
+    "estimate_round_budget",
+    "MemoryReport",
+    "memory_report",
+    "measure_memory",
+    "upper_bound_bits",
+    "loglog_bits",
+    "log_bits",
+]

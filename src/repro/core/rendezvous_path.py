@@ -1,0 +1,116 @@
+"""The virtual rendezvous path P of Theorem 4.1 (§4.1, Sub-stage 2.2).
+
+With ``u`` and ``v`` the two extremities (in T) of the central path C
+(the path contracted into T''s central edge), the paper defines
+
+    P = (B_u | C_{u->v} | B̄_v | C_{v->u})^{5ℓ} | (B_u | C_{u->v} | B̄_v)
+
+where ``B_u`` is the closed walk of the instruction ``bw(2(ν-1))`` from
+``u`` (a full basic-walk tour of T, projected onto T') and ``B̄_v`` the
+closed walk of ``cbw(2(ν-1))`` from ``v``.  Claim 4.3: an agent standing at
+*either* extremity that executes
+
+    (bw(2(ν-1)), C, cbw(2(ν-1)), C)^{5ℓ}, bw(2(ν-1)), C, cbw(2(ν-1))
+
+traverses P from its extremity to the other one.  Both directions of P are
+thus realized by the *same* instruction sequence, which is what the
+:class:`RendezvousPathNavigator` below executes — at speed ``1/p`` (idle
+``p-1`` rounds before every edge) for the prime protocol.
+
+The navigator's counters: a segment-repetition counter up to ``5ℓ`` and a
+branching-arrival counter up to ``2(ν-1)`` — O(log ℓ) bits, as Theorem 4.1
+requires.  The agent's *position on P* is never stored; it is implicit in
+the physical position plus these counters.
+"""
+
+from __future__ import annotations
+
+from ..agents.program import Ctx, Registers, Routine, move, stay
+
+__all__ = ["RendezvousPathNavigator", "rendezvous_path_num_edges"]
+
+
+def rendezvous_path_num_edges(n: int, nu: int, ell: int, chain_len: int, reps_factor: int = 5) -> int:
+    """Number of T-edge traversals of one full traversal of P.
+
+    ``chain_len`` is the number of T-edges of the central path C.  Each
+    bw/cbw segment is a full doubled-edge tour of T: ``2(n-1)`` steps.
+    Used by tests and the experiment harness (not by agents).
+    """
+    reps = reps_factor * ell
+    segments_b = 2 * reps + 2  # bw/cbw segments
+    segments_c = 2 * reps + 1  # C crossings
+    return segments_b * 2 * (n - 1) + segments_c * chain_len
+
+
+class RendezvousPathNavigator:
+    """Executes one traversal of P from the current extremity of C.
+
+    Parameters
+    ----------
+    nu:
+        ν — the number of nodes of T' (known from Explo).
+    ell:
+        ℓ — the number of leaves (known from Explo's reconstruction).
+    central_port:
+        The port of the central path at *both* extremities (equal by the
+        symmetry of T', which is the only case P is used in).
+    reps_factor:
+        The paper's 5 in ``5ℓ``; exposed for ablation benchmarks.
+    """
+
+    def __init__(self, nu: int, ell: int, central_port: int, reps_factor: int = 5) -> None:
+        self.nu = nu
+        self.ell = ell
+        self.central_port = central_port
+        self.reps = reps_factor * ell
+
+    # -- public API ----------------------------------------------------------
+    def traverse(self, ctx: Ctx, regs: Registers, speed: int) -> Routine:
+        """Walk P once, ending at the other extremity of C."""
+        regs.declare("path_rep", max(self.reps, 1))
+        for r in range(self.reps):
+            regs["path_rep"] = r
+            yield from self._tour(ctx, regs, speed, delta=+1, first_port=0)
+            yield from self._cross(ctx, regs, speed)
+            yield from self._tour(ctx, regs, speed, delta=-1, first_port=ctx.in_port)
+            yield from self._cross(ctx, regs, speed)
+        yield from self._tour(ctx, regs, speed, delta=+1, first_port=0)
+        yield from self._cross(ctx, regs, speed)
+        yield from self._tour(ctx, regs, speed, delta=-1, first_port=ctx.in_port)
+
+    # -- segments --------------------------------------------------------------
+    def _tour(
+        self, ctx: Ctx, regs: Registers, speed: int, delta: int, first_port: int
+    ) -> Routine:
+        """bw(2(ν-1)) (delta=+1) or cbw(2(ν-1)) (delta=-1) at speed 1/speed.
+
+        Both are closed tours of T': the agent ends where it started.
+        """
+        total = 2 * (self.nu - 1)
+        regs.declare("path_arrivals", max(total, 1))
+        regs["path_arrivals"] = 0
+        arrivals = 0
+        port = first_port
+        while arrivals < total:
+            yield from stay(ctx, speed - 1)
+            yield from move(ctx, port)
+            if ctx.degree != 2:
+                arrivals += 1
+                regs["path_arrivals"] = arrivals
+            port = (ctx.in_port + delta) % ctx.degree
+
+    def _cross(self, ctx: Ctx, regs: Registers, speed: int) -> Routine:
+        """Traverse the central path C to the other extremity.
+
+        The pass-through port is computed from the entry port of the
+        previous *move* — it must be captured before idling, because a null
+        move resets the observation to ``(-1, d)`` (paper §2.1), exactly as
+        a real automaton would have to hold the port in its state.
+        """
+        yield from stay(ctx, speed - 1)
+        yield from move(ctx, self.central_port)
+        while ctx.degree == 2:
+            port = (ctx.in_port + 1) % 2
+            yield from stay(ctx, speed - 1)
+            yield from move(ctx, port)

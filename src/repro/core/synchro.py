@@ -1,0 +1,48 @@
+"""Procedure Synchro (§4.1, Sub-stage 2.1): resynchronization.
+
+After Stage 1 each agent sits at its ``v̂``.  Synchro performs a closed
+basic walk of T (stopping after ``2(ν-1)`` T'-edge traversals, i.e.
+branching-node arrivals), inserting a full ``Explo-bis(w)`` at every visited
+branching node *except the last one* (the final return to ``v̂``).
+
+Because the two agents perform identical multisets of actions (in different
+orders), they finish Synchro with delay exactly ``β = |L - L'|`` where L, L'
+are the basic-walk lengths from the true starts to the respective ``v̂``
+(Claim 4.2).  In this implementation Explo-bis from a branching node always
+takes ``2(n-1)`` rounds, which makes Claim 4.2 hold with room to spare; the
+insertion structure is kept anyway for fidelity to the paper's protocol.
+"""
+
+from __future__ import annotations
+
+from ..agents.program import Ctx, Registers, Routine, move
+from .explo import ExploResult, explo_bis_routine
+
+__all__ = ["synchro_routine"]
+
+
+def synchro_routine(ctx: Ctx, regs: Registers, explo: ExploResult) -> Routine:
+    """Run Synchro from ``v̂`` (current position, degree != 2); ends at ``v̂``.
+
+    ``explo`` is the agent's own Stage-1 result (provides ν).
+    """
+    nu = explo.nu
+    total = 2 * (nu - 1)
+    if total == 0:  # T' is a single node: nothing to synchronize over
+        return
+    regs.declare("synchro_arrivals", total)
+    regs["synchro_arrivals"] = 0
+    port = 0  # the basic walk leaves v̂ by port 0
+    arrivals = 0
+    while arrivals < total:
+        yield from move(ctx, port)
+        while ctx.degree == 2:  # pass through the contracted paths
+            yield from move(ctx, (ctx.in_port + 1) % 2)
+        arrivals += 1
+        regs["synchro_arrivals"] = arrivals
+        resume = (ctx.in_port + 1) % ctx.degree
+        if arrivals < total:
+            # Insert Explo-bis(w); the current node w has degree != 2, so
+            # this is a closed Explo taking 2(n-1) rounds and ending at w.
+            yield from explo_bis_routine(ctx, regs)
+        port = resume

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class InvalidTreeError(ReproError):
+    """The given adjacency structure is not a valid port-labeled tree."""
+
+
+class InvalidPortError(ReproError):
+    """A port number is out of range for the node it is used at."""
+
+
+class InvalidLabelingError(ReproError):
+    """A port labeling is malformed (not a permutation per node, etc.)."""
+
+
+class SimulationError(ReproError):
+    """The synchronous simulator was driven into an inconsistent state."""
+
+
+class AgentProtocolError(ReproError):
+    """An agent program violated the action/observation protocol."""
+
+
+class InfeasibleRendezvousError(ReproError):
+    """Rendezvous was requested from perfectly symmetrizable positions."""
+
+
+class ConstructionError(ReproError):
+    """A lower-bound adversarial construction could not be completed."""

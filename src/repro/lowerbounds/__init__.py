@@ -1,0 +1,35 @@
+"""Constructive lower-bound adversaries (Theorems 3.1, 4.2, 4.3).
+
+Each module takes a *concrete* finite-state agent and builds the instance
+the corresponding proof constructs against it, then machine-certifies
+non-meeting via configuration recurrence.  The experiment harness sweeps
+agent families through these builders to trace the paper's bound shapes
+(defeating-instance size as a function of agent memory).
+"""
+
+from .arbitrary_delay import Thm31Instance, build_thm31_instance, find_state_repetition
+from .infinite_line import InfiniteLineRun, LeaveEvent, simulate_infinite_line
+from .leaves import (
+    BehaviorFunction,
+    Thm43Instance,
+    behavior_function,
+    build_thm43_instance,
+    find_colliding_side_trees,
+)
+from .loglog_line import Thm42Instance, build_thm42_instance
+
+__all__ = [
+    "build_thm31_instance",
+    "Thm31Instance",
+    "find_state_repetition",
+    "build_thm42_instance",
+    "Thm42Instance",
+    "build_thm43_instance",
+    "Thm43Instance",
+    "behavior_function",
+    "find_colliding_side_trees",
+    "BehaviorFunction",
+    "simulate_infinite_line",
+    "InfiniteLineRun",
+    "LeaveEvent",
+]

@@ -1,0 +1,45 @@
+"""Shared pieces of the lower-bound constructions.
+
+Both line adversaries (Thms 3.1 and 4.2) fall back to the same *bounded
+agent* construction when the victim never leaves a finite radius: put the
+two copies far enough apart on a line with a central node (odd node count,
+so no pair is perfectly symmetrizable — §2.2: a tree with a central node
+admits no symmetric labeling) and their activity ranges never intersect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..trees.labelings import edge_colored_line
+from ..trees.tree import Tree
+
+__all__ = ["BoundedPlacement", "bounded_agent_placement"]
+
+
+@dataclass(frozen=True)
+class BoundedPlacement:
+    """Disjoint-ranges placement defeating a radius-``radius`` agent."""
+
+    tree: Tree
+    start1: int
+    start2: int
+    radius: int
+
+    @property
+    def line_edges(self) -> int:
+        return self.tree.num_edges
+
+
+def bounded_agent_placement(radius: int) -> BoundedPlacement:
+    """The disjoint-ranges line for an agent that never leaves ``radius``.
+
+    Nodes: ``4·radius + 7`` (odd — central node, every pair feasible).
+    Starts ``2·radius + 2`` apart with ``radius + 2`` margin to each end:
+    the activity balls ``[start ± radius]`` are disjoint and interior.
+    """
+    n = 4 * radius + 7
+    tree = edge_colored_line(n)
+    p1 = radius + 2
+    p2 = p1 + 2 * radius + 2
+    return BoundedPlacement(tree, p1, p2, radius)

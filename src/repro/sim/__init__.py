@@ -1,0 +1,36 @@
+"""Synchronous two-agent simulation: engine, traces, adversarial sweeps."""
+
+from .adversary import (
+    AdversaryReport,
+    FailedInstance,
+    adversarial_search,
+    all_start_pairs,
+    feasible_start_pairs,
+    labelings_for,
+)
+from .certificates import JointConfig, NonMeetingCertificate, build_certificate
+from .engine import RendezvousOutcome, run_rendezvous
+from .instrument import RegisterEvent, SoloRun, run_solo
+from .multi import GatheringOutcome, run_gathering
+from .trace import RoundRecord, Trace
+
+__all__ = [
+    "run_rendezvous",
+    "RendezvousOutcome",
+    "NonMeetingCertificate",
+    "JointConfig",
+    "build_certificate",
+    "GatheringOutcome",
+    "run_gathering",
+    "run_solo",
+    "SoloRun",
+    "RegisterEvent",
+    "Trace",
+    "RoundRecord",
+    "adversarial_search",
+    "AdversaryReport",
+    "FailedInstance",
+    "all_start_pairs",
+    "feasible_start_pairs",
+    "labelings_for",
+]

@@ -1,0 +1,142 @@
+"""Adversarial sweeps: labelings × start pairs × delays against one agent.
+
+Definition 1.1 quantifies over *every* port labeling; the adversary also
+controls the delay.  This module provides the exhaustive/randomized sweeps
+the tests and experiments use to attack an agent, and the bookkeeping to
+report which instances defeated it.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..agents.observations import AgentBase
+from ..trees.automorphism import perfectly_symmetrizable
+from ..trees.labelings import all_labelings, random_relabel
+from ..trees.tree import Tree
+from .engine import RendezvousOutcome, run_rendezvous
+
+__all__ = [
+    "all_start_pairs",
+    "feasible_start_pairs",
+    "FailedInstance",
+    "AdversaryReport",
+    "adversarial_search",
+    "labelings_for",
+]
+
+
+def all_start_pairs(tree: Tree) -> Iterator[tuple[int, int]]:
+    """All unordered pairs of distinct nodes."""
+    return itertools.combinations(range(tree.n), 2)
+
+
+def feasible_start_pairs(tree: Tree) -> Iterator[tuple[int, int]]:
+    """Pairs from which rendezvous is solvable (not perfectly symmetrizable)."""
+    for u, v in all_start_pairs(tree):
+        if not perfectly_symmetrizable(tree, u, v):
+            yield (u, v)
+
+
+def labelings_for(
+    tree: Tree,
+    *,
+    exhaustive_limit: int = 5000,
+    samples: int = 24,
+    rng: Optional[random.Random] = None,
+) -> list[Tree]:
+    """A labeling battery: exhaustive when small, random samples otherwise."""
+    from ..trees.labelings import count_labelings
+
+    if count_labelings(tree) <= exhaustive_limit:
+        return list(all_labelings(tree))
+    rng = rng or random.Random(0)
+    out = [tree]
+    out.extend(random_relabel(tree, rng) for _ in range(samples - 1))
+    return out
+
+
+@dataclass(frozen=True)
+class FailedInstance:
+    """One instance on which the agent failed to rendezvous."""
+
+    tree: Tree
+    start1: int
+    start2: int
+    delay: int
+    delayed: int
+    outcome: RendezvousOutcome
+
+
+@dataclass
+class AdversaryReport:
+    """Aggregate result of an adversarial sweep."""
+
+    instances_run: int = 0
+    successes: int = 0
+    failures: list[FailedInstance] = field(default_factory=list)
+    undecided: int = 0
+    max_meeting_round: int = 0
+
+    @property
+    def all_succeeded(self) -> bool:
+        return not self.failures and self.undecided == 0
+
+    def record(self, inst: FailedInstance) -> None:
+        self.instances_run += 1
+        if inst.outcome.met:
+            self.successes += 1
+            self.max_meeting_round = max(
+                self.max_meeting_round, inst.outcome.meeting_round or 0
+            )
+        else:
+            self.failures.append(inst)
+            if inst.outcome.undecided:
+                self.undecided += 1
+
+
+def adversarial_search(
+    tree: Tree,
+    prototype: AgentBase,
+    *,
+    pairs: Optional[Iterable[tuple[int, int]]] = None,
+    labelings: Optional[Iterable[Tree]] = None,
+    delays: Iterable[int] = (0,),
+    max_rounds: int = 200_000,
+    certify: bool = False,
+    stop_at_first_failure: bool = False,
+) -> AdversaryReport:
+    """Attack ``prototype`` with every (labeling, start pair, delay) combo.
+
+    ``pairs`` defaults to the feasible (non perfectly symmetrizable) pairs of
+    the *topology* — perfect symmetrizability is labeling-independent, so the
+    same pair list applies to every relabeling.
+    """
+    report = AdversaryReport()
+    pair_list = list(pairs) if pairs is not None else list(feasible_start_pairs(tree))
+    labeled = list(labelings) if labelings is not None else labelings_for(tree)
+    for labeled_tree in labeled:
+        for u, v in pair_list:
+            for delay in delays:
+                sides = (2,) if delay == 0 else (1, 2)
+                for delayed in sides:
+                    outcome = run_rendezvous(
+                        labeled_tree,
+                        prototype,
+                        u,
+                        v,
+                        delay=delay,
+                        delayed=delayed,
+                        max_rounds=max_rounds,
+                        certify=certify,
+                    )
+                    report.record(
+                        FailedInstance(labeled_tree, u, v, delay, delayed, outcome)
+                    )
+                    if stop_at_first_failure and report.failures:
+                        return report
+    return report

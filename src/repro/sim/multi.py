@@ -1,0 +1,122 @@
+"""Multi-agent synchronous simulation: the gathering extension.
+
+The paper notes (§1.3) that gathering — more than two identical agents
+meeting at one node — is the natural extension of rendezvous.  This module
+generalizes the two-agent engine to k agents with per-agent start delays:
+
+- *gathering* is achieved the first round at the end of which all agents
+  occupy the same node;
+- the engine also reports the partial-meeting structure (which subsets
+  co-locate), which the gathering algorithm's analysis cares about.
+
+The feasible fragment implemented in :mod:`repro.core.gathering` covers the
+cases where all agents can agree on a single target node of the contraction
+(central node, or asymmetric central edge) — for the symmetric case with
+k > 2 the paper makes no claim and neither do we (see the module docs
+there).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..agents.observations import NULL_PORT, STAY, AgentBase, resolve_action
+from ..errors import SimulationError
+from ..trees.tree import Tree
+
+__all__ = ["GatheringOutcome", "run_gathering"]
+
+
+@dataclass(frozen=True)
+class GatheringOutcome:
+    """Result of a k-agent gathering run."""
+
+    gathered: bool
+    gathering_round: Optional[int]
+    gathering_node: Optional[int]
+    rounds_executed: int
+    positions: tuple[int, ...]  # final positions
+    largest_cluster: int  # max #agents ever co-located in a single round
+
+    @property
+    def num_agents(self) -> int:
+        return len(self.positions)
+
+
+@dataclass
+class _State:
+    agent: AgentBase
+    pos: int
+    start_round: int
+    started: bool = False
+    in_port: int = NULL_PORT
+
+
+def run_gathering(
+    tree: Tree,
+    prototype: AgentBase,
+    starts: Sequence[int],
+    *,
+    delays: Optional[Sequence[int]] = None,
+    max_rounds: int = 1_000_000,
+) -> GatheringOutcome:
+    """Run ``len(starts)`` copies of ``prototype`` until they all co-locate.
+
+    ``delays[i]`` (default all 0) is agent i's start delay.  Agents that
+    have not started yet still occupy their start node.
+    """
+    if len(starts) < 2:
+        raise SimulationError("gathering needs at least two agents")
+    for s in starts:
+        if not (0 <= s < tree.n):
+            raise SimulationError("start node outside the tree")
+    delay_list = list(delays) if delays is not None else [0] * len(starts)
+    if len(delay_list) != len(starts) or any(d < 0 for d in delay_list):
+        raise SimulationError("delays must align with starts and be >= 0")
+
+    agents = [
+        _State(prototype.clone(), pos, delay)
+        for pos, delay in zip(starts, delay_list)
+    ]
+
+    def cluster_size(states: Sequence[_State]) -> int:
+        counts: dict[int, int] = {}
+        for st in states:
+            counts[st.pos] = counts.get(st.pos, 0) + 1
+        return max(counts.values())
+
+    largest = cluster_size(agents)
+    if largest == len(agents):
+        return GatheringOutcome(
+            True, 0, agents[0].pos, 0, tuple(a.pos for a in agents), largest
+        )
+
+    for rnd in range(1, max_rounds + 1):
+        actions = [_action(tree, a, rnd) for a in agents]
+        for a, act in zip(agents, actions):
+            if act == STAY:
+                a.in_port = NULL_PORT
+            else:
+                a.pos, a.in_port = tree.move(a.pos, act)
+        size = cluster_size(agents)
+        largest = max(largest, size)
+        if size == len(agents):
+            return GatheringOutcome(
+                True, rnd, agents[0].pos, rnd, tuple(a.pos for a in agents), largest
+            )
+    return GatheringOutcome(
+        False, None, None, max_rounds, tuple(a.pos for a in agents), largest
+    )
+
+
+def _action(tree: Tree, a: _State, rnd: int) -> int:
+    degree = tree.degree(a.pos)
+    if not a.started:
+        if rnd <= a.start_round:
+            return STAY
+        a.started = True
+        raw = a.agent.start(degree)
+    else:
+        raw = a.agent.step(a.in_port, degree)
+    return resolve_action(raw, degree)

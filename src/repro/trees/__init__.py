@@ -1,0 +1,122 @@
+"""Port-labeled anonymous tree substrate.
+
+Everything the paper's model needs from the environment side: trees with
+local port numbers, tree families, labelings, centers, contractions,
+automorphism/symmetry theory, and basic-walk primitives.
+"""
+
+from .automorphism import (
+    are_symmetric_for_labeling,
+    are_topologically_symmetric,
+    canonical_form,
+    has_symmetrizing_labeling,
+    is_symmetric_labeling,
+    perfectly_symmetrizable,
+    port_labeled_nested_code,
+    port_preserving_automorphism,
+    rooted_code,
+)
+from .basic_walk import (
+    TranscriptReconstructor,
+    WalkStep,
+    basic_walk,
+    basic_walk_first_hit,
+    basic_walk_until_branching,
+    counter_basic_walk,
+    counter_basic_walk_until_branching,
+)
+from .builders import (
+    all_trees,
+    complete_kary_tree,
+    lobster,
+    binomial_tree,
+    broom,
+    caterpillar,
+    complete_binary_tree,
+    double_broom,
+    double_star,
+    line,
+    random_bounded_degree_tree,
+    random_tree,
+    spider,
+    star,
+    subdivide,
+)
+from .center import Center, find_center
+from .contraction import Contraction, contract
+from .isomorphism import (
+    find_isomorphism,
+    find_port_isomorphism,
+    find_rooted_isomorphism,
+)
+from .labelings import (
+    all_labelings,
+    count_labelings,
+    edge_colored_line,
+    random_relabel,
+    thm31_line_labeling,
+)
+from .serialize import (
+    Instance,
+    instance_from_json,
+    instance_to_json,
+    tree_from_json,
+    tree_to_json,
+)
+from .tree import Tree
+from .viz import annotate_instance, ascii_tree, to_dot
+
+__all__ = [
+    "Tree",
+    "ascii_tree",
+    "to_dot",
+    "annotate_instance",
+    "Instance",
+    "tree_to_json",
+    "tree_from_json",
+    "instance_to_json",
+    "instance_from_json",
+    "WalkStep",
+    "TranscriptReconstructor",
+    "Center",
+    "Contraction",
+    "find_center",
+    "contract",
+    "basic_walk",
+    "basic_walk_first_hit",
+    "basic_walk_until_branching",
+    "counter_basic_walk",
+    "counter_basic_walk_until_branching",
+    "line",
+    "star",
+    "spider",
+    "caterpillar",
+    "broom",
+    "double_broom",
+    "complete_binary_tree",
+    "complete_kary_tree",
+    "lobster",
+    "binomial_tree",
+    "double_star",
+    "random_tree",
+    "random_bounded_degree_tree",
+    "all_trees",
+    "subdivide",
+    "all_labelings",
+    "count_labelings",
+    "random_relabel",
+    "edge_colored_line",
+    "thm31_line_labeling",
+    "canonical_form",
+    "rooted_code",
+    "are_topologically_symmetric",
+    "are_symmetric_for_labeling",
+    "is_symmetric_labeling",
+    "has_symmetrizing_labeling",
+    "perfectly_symmetrizable",
+    "port_labeled_nested_code",
+    "port_preserving_automorphism",
+    "find_isomorphism",
+    "find_port_isomorphism",
+    "find_rooted_isomorphism",
+]

@@ -1,0 +1,157 @@
+"""Explicit tree isomorphisms (beyond yes/no canonical-code tests).
+
+:mod:`repro.trees.automorphism` answers *whether* two structures are
+isomorphic; this module produces the *witness mapping*, both unlabeled and
+port-preserving.  Used by tests (round-trip witnesses under renumbering),
+by the Thm 4.3 tooling (aligning colliding side trees), and exposed as
+public API for users poking at instances.
+
+Algorithm: rooted AHU codes with an interner, then a top-down matching that
+pairs children by code (unlabeled: greedy within code-equal groups; ports:
+children are matched port-by-port, so the map is forced).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .automorphism import CodeInterner
+from .center import find_center
+from .tree import Tree
+
+__all__ = ["find_rooted_isomorphism", "find_isomorphism", "find_port_isomorphism"]
+
+
+def _match_down(
+    t1: Tree,
+    r1: int,
+    b1: Optional[int],
+    t2: Tree,
+    r2: int,
+    b2: Optional[int],
+    codes1: dict[int, int],
+    codes2: dict[int, int],
+    with_ports: bool,
+) -> Optional[dict[int, int]]:
+    mapping = {r1: r2}
+    stack = [(r1, -1 if b1 is None else b1, r2, -1 if b2 is None else b2)]
+    while stack:
+        a, pa, b, pb = stack.pop()
+        kids_a = [c for c in t1.neighbors(a) if c != pa]
+        kids_b = [c for c in t2.neighbors(b) if c != pb]
+        if len(kids_a) != len(kids_b):
+            return None
+        if with_ports:
+            # ports force the pairing
+            by_port_b = {t2.port(b, c): c for c in kids_b}
+            for ca in kids_a:
+                cb = by_port_b.get(t1.port(a, ca))
+                if cb is None or codes1[ca] != codes2[cb]:
+                    return None
+                if t1.port(ca, a) != t2.port(cb, b):
+                    return None
+                mapping[ca] = cb
+                stack.append((ca, a, cb, b))
+        else:
+            # group children by code and pair within groups arbitrarily
+            pool: dict[int, list[int]] = {}
+            for cb in kids_b:
+                pool.setdefault(codes2[cb], []).append(cb)
+            for ca in kids_a:
+                group = pool.get(codes1[ca])
+                if not group:
+                    return None
+                cb = group.pop()
+                mapping[ca] = cb
+                stack.append((ca, a, cb, b))
+    return mapping
+
+
+def find_rooted_isomorphism(
+    t1: Tree,
+    r1: int,
+    t2: Tree,
+    r2: int,
+    *,
+    with_ports: bool = False,
+    block1: Optional[int] = None,
+    block2: Optional[int] = None,
+) -> Optional[dict[int, int]]:
+    """A rooted isomorphism ``t1 -> t2`` mapping ``r1`` to ``r2``, or None.
+
+    ``block1``/``block2`` restrict to the halves away from those neighbors
+    (central-edge halves).  With ``with_ports`` the mapping must preserve
+    port numbers (then it is unique if it exists).
+    """
+    interner = CodeInterner()
+    codes1: dict[int, int] = {}
+    codes2: dict[int, int] = {}
+    from .automorphism import _postorder
+
+    for tree, root, block, codes in (
+        (t1, r1, block1, codes1),
+        (t2, r2, block2, codes2),
+    ):
+        for node, parent in _postorder(tree, root, block):
+            children = []
+            for nbr in tree.neighbors(node):
+                if nbr == parent or (node == root and nbr == block):
+                    continue
+                if with_ports:
+                    children.append(
+                        (tree.port(node, nbr), tree.port(nbr, node), codes[nbr])
+                    )
+                else:
+                    children.append((codes[nbr],))
+            if not with_ports:
+                children.sort()
+            codes[node] = interner.intern((0, tuple(children)))
+    if codes1[r1] != codes2[r2]:
+        return None
+    return _match_down(t1, r1, block1, t2, r2, block2, codes1, codes2, with_ports)
+
+
+def find_isomorphism(t1: Tree, t2: Tree) -> Optional[dict[int, int]]:
+    """An unlabeled isomorphism ``t1 -> t2``, or None.
+
+    Roots both trees at their centers; for central edges both orientations
+    of the extremity pairing are tried.
+    """
+    if t1.n != t2.n:
+        return None
+    c1, c2 = find_center(t1), find_center(t2)
+    if c1.is_node != c2.is_node:
+        return None
+    if c1.is_node:
+        return find_rooted_isomorphism(t1, c1.node, t2, c2.node)
+    (x1, y1), (x2, y2) = c1.edge, c2.edge  # type: ignore[misc]
+    for rx, ry in ((x2, y2), (y2, x2)):
+        left = find_rooted_isomorphism(t1, x1, t2, rx, block1=y1, block2=ry)
+        right = find_rooted_isomorphism(t1, y1, t2, ry, block1=x1, block2=rx)
+        if left is not None and right is not None:
+            return {**left, **right}
+    return None
+
+
+def find_port_isomorphism(t1: Tree, t2: Tree) -> Optional[dict[int, int]]:
+    """A port-preserving isomorphism ``t1 -> t2``, or None (unique if any)."""
+    if t1.n != t2.n:
+        return None
+    c1, c2 = find_center(t1), find_center(t2)
+    if c1.is_node != c2.is_node:
+        return None
+    if c1.is_node:
+        return find_rooted_isomorphism(t1, c1.node, t2, c2.node, with_ports=True)
+    (x1, y1), (x2, y2) = c1.edge, c2.edge  # type: ignore[misc]
+    for rx, ry in ((x2, y2), (y2, x2)):
+        if t1.port(x1, y1) != t2.port(rx, ry) or t1.port(y1, x1) != t2.port(ry, rx):
+            continue
+        left = find_rooted_isomorphism(
+            t1, x1, t2, rx, with_ports=True, block1=y1, block2=ry
+        )
+        right = find_rooted_isomorphism(
+            t1, y1, t2, ry, with_ports=True, block1=x1, block2=rx
+        )
+        if left is not None and right is not None:
+            return {**left, **right}
+    return None

@@ -1,0 +1,136 @@
+"""Port labelings: canonical, random, exhaustive, and edge-colored lines.
+
+In the paper the port labeling is chosen by an *adversary*; Definition 1.1
+demands that agents rendezvous *for any port labeling*.  The test-suite and
+experiment drivers therefore need to sweep labelings:
+
+- :func:`random_relabel` — a uniformly random port labeling;
+- :func:`all_labelings` — exhaustive enumeration for small trees;
+- :func:`edge_colored_line` — the proper 2-edge-colorings of a line used by
+  both lower-bound constructions (Thm 3.1 and Thm 4.2), where both endpoints
+  of an edge carry the same number, and the Thm 3.1 variant that puts port 0
+  on the central edge.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from collections.abc import Iterator
+from typing import Optional
+
+from ..errors import InvalidLabelingError
+from .tree import Tree
+
+__all__ = [
+    "random_relabel",
+    "all_labelings",
+    "count_labelings",
+    "edge_colored_line",
+    "thm31_line_labeling",
+    "identity_perms",
+]
+
+
+def identity_perms(tree: Tree) -> list[list[int]]:
+    """The identity port permutation for every node of ``tree``."""
+    return [list(range(tree.degree(u))) for u in range(tree.n)]
+
+
+def random_relabel(tree: Tree, rng: Optional[random.Random] = None) -> Tree:
+    """Apply an independent uniformly random port permutation at every node."""
+    rng = rng or random.Random()
+    perms = []
+    for u in range(tree.n):
+        perm = list(range(tree.degree(u)))
+        rng.shuffle(perm)
+        perms.append(perm)
+    return tree.with_ports(perms)
+
+
+def count_labelings(tree: Tree) -> int:
+    """Number of distinct port labelings: prod over nodes of deg(u)!."""
+    import math
+
+    out = 1
+    for u in range(tree.n):
+        out *= math.factorial(tree.degree(u))
+    return out
+
+
+def all_labelings(tree: Tree, limit: Optional[int] = None) -> Iterator[Tree]:
+    """Yield the tree under every possible port labeling.
+
+    The count is ``prod_u deg(u)!`` which explodes quickly; pass ``limit``
+    to stop early, or keep trees small (exhaustive testing uses n <= 7).
+    """
+    per_node = [list(itertools.permutations(range(tree.degree(u)))) for u in range(tree.n)]
+    produced = 0
+    for combo in itertools.product(*per_node):
+        yield tree.with_ports([list(p) for p in combo])
+        produced += 1
+        if limit is not None and produced >= limit:
+            return
+
+
+def edge_colored_line(num_nodes: int, first_color: int = 0) -> Tree:
+    """A path whose port labeling is a proper 2-edge-coloring.
+
+    Edge ``i`` (between nodes ``i`` and ``i+1``) gets color ``(first_color +
+    i) mod 2`` and *both* of its ports carry that color, as in the Thm 4.2
+    construction ("ports at the two extremities of an edge colored i are set
+    to i").  Degree-1 endpoints keep port 0 regardless (a node of degree 1
+    has only port 0), which matches the paper's convention that ports at a
+    node of degree d are ``0 .. d-1``: at an endpoint the single edge has
+    port 0 even if its color is 1 — the *interior* labeling is what the
+    construction relies on, and the endpoints are where agents turn around.
+
+    Concretely: at an interior node ``i``, the edge to ``i-1`` has port equal
+    to the color of edge ``i-1``, and the edge to ``i+1`` has port equal to
+    the color of edge ``i``.  Proper coloring makes those differ, so the port
+    assignment is a valid permutation of {0, 1}.
+    """
+    if num_nodes < 2:
+        raise InvalidLabelingError("edge-colored line needs >= 2 nodes")
+    if first_color not in (0, 1):
+        raise InvalidLabelingError("first_color must be 0 or 1")
+    ports: dict[tuple[int, int], int] = {}
+    for i in range(num_nodes - 1):
+        color = (first_color + i) % 2
+        ports[(i, i + 1)] = color
+        ports[(i + 1, i)] = color
+    # Fix up the endpoints: degree-1 nodes only have port 0.
+    ports[(0, 1)] = 0
+    ports[(num_nodes - 1, num_nodes - 2)] = 0
+    edges = [(i, i + 1) for i in range(num_nodes - 1)]
+    return Tree.from_edges(num_nodes, edges, ports=ports)
+
+
+def thm31_line_labeling(num_nodes: int) -> Tree:
+    """The Thm 3.1 line: port 0 on the central edge, 2-edge-colored outward.
+
+    ``num_nodes`` must be even + 0? The construction uses a line of *odd
+    length* ``8(K+1)+1`` (even node count) whose **central edge** e gets
+    number 0 at both extremities, and every other edge gets the same number
+    0 or 1 at both ends, alternating so each node sees a permutation.
+
+    Returns the labeled line with nodes numbered left to right.
+    """
+    if num_nodes < 2 or num_nodes % 2 != 0:
+        raise InvalidLabelingError(
+            "Thm 3.1 line has an odd number of edges, i.e. an even node count"
+        )
+    num_edges = num_nodes - 1
+    mid = num_edges // 2  # index of the central edge (0-based), odd length
+    colors = [0] * num_edges
+    for i in range(num_edges):
+        # Color alternates moving away from the central edge, which is 0.
+        colors[i] = abs(i - mid) % 2
+    ports: dict[tuple[int, int], int] = {}
+    for i in range(num_edges):
+        ports[(i, i + 1)] = colors[i]
+        ports[(i + 1, i)] = colors[i]
+    ports[(0, 1)] = 0
+    ports[(num_nodes - 1, num_nodes - 2)] = 0
+    edges = [(i, i + 1) for i in range(num_edges)]
+    return Tree.from_edges(num_nodes, edges, ports=ports)

@@ -1,0 +1,78 @@
+"""Visualization helpers: ASCII rendering and Graphviz/DOT export.
+
+The renderings show the structure *plus the port labeling* — the ports are
+the whole story in this model, so every edge annotation is
+``parent_port/child_port``.  Used by the examples and priceless when
+debugging adversarial constructions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .center import find_center
+from .tree import Tree
+
+__all__ = ["ascii_tree", "to_dot", "annotate_instance"]
+
+
+def ascii_tree(tree: Tree, root: Optional[int] = None, marks: Optional[dict[int, str]] = None) -> str:
+    """Render the tree as indented ASCII art rooted at ``root``.
+
+    ``marks`` maps node ids to short labels shown next to them (e.g.
+    ``{u: "agent1", v: "agent2"}``).  Default root: the central node, or
+    the smaller extremity of the central edge.
+    """
+    marks = marks or {}
+    if root is None:
+        center = find_center(tree)
+        root = center.node if center.is_node else center.edge[0]  # type: ignore[index]
+
+    lines: list[str] = []
+
+    def label(node: int) -> str:
+        extra = f"  <{marks[node]}>" if node in marks else ""
+        return f"({node}) deg={tree.degree(node)}{extra}"
+
+    # Iterative DFS (paths can be thousands of nodes deep).
+    stack: list[tuple[int, int, str, str, bool]] = [(root, -1, "", "", True)]
+    while stack:
+        node, parent, prefix, edge_note, last = stack.pop()
+        connector = "" if parent == -1 else ("└─" if last else "├─")
+        lines.append(f"{prefix}{connector}{edge_note}{label(node)}")
+        children = [c for c in tree.neighbors(node) if c != parent]
+        child_prefix = prefix + ("" if parent == -1 else ("  " if last else "│ "))
+        for idx, child in reversed(list(enumerate(children))):
+            note = f"[{tree.port(node, child)}/{tree.port(child, node)}] "
+            stack.append((child, node, child_prefix, note, idx == len(children) - 1))
+    return "\n".join(lines)
+
+
+def to_dot(
+    tree: Tree,
+    marks: Optional[dict[int, str]] = None,
+    name: str = "tree",
+) -> str:
+    """Graphviz DOT source with port numbers as head/tail labels."""
+    marks = marks or {}
+    out = [f"graph {name} {{", "  node [shape=circle];"]
+    for v in range(tree.n):
+        attrs = []
+        if v in marks:
+            attrs.append(f'xlabel="{marks[v]}"')
+            attrs.append("style=filled")
+            attrs.append("fillcolor=lightblue")
+        attr_str = f" [{', '.join(attrs)}]" if attrs else ""
+        out.append(f"  {v}{attr_str};")
+    for u, v in tree.edges():
+        out.append(
+            f'  {u} -- {v} [taillabel="{tree.port(u, v)}", '
+            f'headlabel="{tree.port(v, u)}"];'
+        )
+    out.append("}")
+    return "\n".join(out)
+
+
+def annotate_instance(tree: Tree, start1: int, start2: int) -> str:
+    """ASCII rendering with the two agents' start positions marked."""
+    return ascii_tree(tree, marks={start1: "agent 1", start2: "agent 2"})

@@ -1,0 +1,141 @@
+"""Unit tests for explicit finite-state agents."""
+
+import pytest
+
+from repro.agents import (
+    STAY,
+    Automaton,
+    LineAutomaton,
+    alternator,
+    counting_walker,
+    pausing_walker,
+    random_line_automaton,
+)
+from repro.errors import AgentProtocolError
+
+
+class TestAutomaton:
+    def test_basic_stepping(self):
+        # Two states: 0 emits port 0, 1 emits STAY; flip on any observation.
+        table = {(s, i, d): 1 - s for s in (0, 1) for i in (-1, 0, 1) for d in (1, 2)}
+        a = Automaton(2, table, [0, STAY])
+        assert a.start(2) == 0
+        assert a.step(0, 2) == STAY
+        assert a.step(-1, 2) == 0
+
+    def test_partial_table_defaults_to_self_loop(self):
+        a = Automaton(2, {}, [0, 1])
+        assert a.start(1) == 0
+        assert a.step(0, 1) == 0  # state unchanged
+
+    def test_callable_transition(self):
+        a = Automaton(3, lambda s, i, d: (s + 1) % 3, [0, 1, STAY])
+        a.start(2)
+        assert a.step(0, 2) == 1
+        assert a.step(1, 2) == STAY
+
+    def test_clone_is_fresh(self):
+        a = Automaton(2, lambda s, i, d: 1, [0, 1])
+        a.start(1)
+        a.step(0, 1)
+        assert a.state == 1
+        b = a.clone()
+        assert b.state == 0
+        assert b.start(1) == 0
+
+    def test_memory_bits(self):
+        assert Automaton(1, {}, [0]).memory_bits == 1
+        assert Automaton(2, {}, [0, 0]).memory_bits == 1
+        assert Automaton(5, {}, [0] * 5).memory_bits == 3
+        assert Automaton(256, {}, [0] * 256).memory_bits == 8
+
+    def test_validation(self):
+        with pytest.raises(AgentProtocolError):
+            Automaton(0, {}, [])
+        with pytest.raises(AgentProtocolError):
+            Automaton(2, {}, [0])
+        with pytest.raises(AgentProtocolError):
+            Automaton(2, {}, [0, 0], initial_state=5)
+        with pytest.raises(AgentProtocolError):
+            Automaton(2, {(0, 0, 1): 7}, [0, 0])
+
+    def test_bad_callable_transition_caught(self):
+        a = Automaton(2, lambda s, i, d: 9, [0, 0])
+        a.start(1)
+        with pytest.raises(AgentProtocolError):
+            a.step(0, 1)
+
+
+class TestLineAutomaton:
+    def test_degree_dispatch(self):
+        a = LineAutomaton([(1, 0), (0, 1)], [0, 1])
+        a.start(2)
+        assert a.state == 0
+        a.step(0, 2)  # degree 2 -> second component
+        assert a.state == 0
+        a.step(0, 1)  # degree 1 -> first component
+        assert a.state == 1
+
+    def test_rejects_high_degree(self):
+        a = LineAutomaton([(0, 0)], [0])
+        a.start(2)
+        with pytest.raises(AgentProtocolError):
+            a.step(0, 3)
+
+    def test_pi_prime_and_pi_leaf(self):
+        a = LineAutomaton([(1, 0), (0, 1)], [0, 1])
+        assert a.pi_prime() == (0, 1)
+        assert a.pi_leaf() == (1, 0)
+
+    def test_clone(self):
+        a = LineAutomaton([(1, 1), (0, 0)], [0, 1])
+        a.start(2)
+        a.step(0, 2)
+        b = a.clone()
+        assert b.state == 0 and b.num_states == 2
+
+
+class TestLibrary:
+    def test_alternator_walks_line(self):
+        from repro.trees import edge_colored_line
+
+        t = edge_colored_line(10)
+        a = alternator()
+        # drive it manually from node 4 and check it progresses
+        pos = 4
+        action = a.start(t.degree(pos))
+        visited = {pos}
+        for _ in range(20):
+            if action != STAY:
+                pos, in_port = t.move(pos, action % t.degree(pos))
+                visited.add(pos)
+                action = a.step(in_port, t.degree(pos))
+            else:  # pragma: no cover
+                action = a.step(-1, t.degree(pos))
+        assert len(visited) >= 5  # actually moves around
+
+    def test_counting_walker_state_count(self):
+        for k in (1, 2, 3, 4):
+            a = counting_walker(k)
+            assert a.num_states == 2 ** (k + 1)
+            assert a.memory_bits == k + 1
+
+    def test_counting_walker_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            counting_walker(0)
+
+    def test_pausing_walker_idles(self):
+        a = pausing_walker(2)
+        actions = [a.start(2)]
+        for _ in range(8):
+            actions.append(a.step(-1 if actions[-1] == STAY else 0, 2))
+        assert STAY in actions
+        assert any(x != STAY for x in actions)
+
+    def test_random_line_automaton_reproducible(self):
+        import random
+
+        a = random_line_automaton(8, random.Random(5))
+        b = random_line_automaton(8, random.Random(5))
+        assert a.pi_prime() == b.pi_prime()
+        assert a.output == b.output

@@ -1,0 +1,100 @@
+"""Unit + property tests for functional digraph analysis (Thm 4.2 machinery)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.agents import analyze_functional, lcm_of
+
+
+class TestAnalyzeFunctional:
+    def test_identity(self):
+        d = analyze_functional([0, 1, 2])
+        assert len(d.circuits) == 3
+        assert all(len(c) == 1 for c in d.circuits)
+        assert d.gamma == 1
+        assert d.tail_length == (0, 0, 0)
+
+    def test_single_cycle(self):
+        d = analyze_functional([1, 2, 0])
+        assert len(d.circuits) == 1
+        assert set(d.circuits[0]) == {0, 1, 2}
+        assert d.gamma == 3
+
+    def test_rho_shape(self):
+        # 0 -> 1 -> 2 -> 3 -> 2 (tail of length 2 into a 2-cycle)
+        d = analyze_functional([1, 2, 3, 2])
+        assert d.tail_length[0] == 2
+        assert d.tail_length[1] == 1
+        assert d.tail_length[2] == 0
+        assert d.tail_length[3] == 0
+        assert d.circuit_length(0) == 2
+        assert d.gamma == 2
+
+    def test_two_components(self):
+        # component A: 0<->1 ; component B: 2->3->4->2
+        d = analyze_functional([1, 0, 3, 4, 2])
+        assert len(d.circuits) == 2
+        assert d.gamma == 6
+        assert d.circuit_of[0] != d.circuit_of[2]
+
+    def test_tail_drains_into_processed_component(self):
+        # 1 -> 0 -> 0 ; 2 -> 1 (processed later, drains through 1 into 0)
+        d = analyze_functional([0, 0, 1])
+        assert d.tail_length[2] == 2
+        assert d.circuit_of[2] == d.circuit_of[0]
+
+    def test_on_circuit_helpers(self):
+        d = analyze_functional([1, 0, 0])
+        assert d.on_circuit(0) and d.on_circuit(1)
+        assert not d.on_circuit(2)
+        assert d.max_tail() == 1
+
+    @given(st.lists(st.integers(0, 19), min_size=1, max_size=20))
+    @settings(max_examples=200, deadline=None)
+    def test_properties_random(self, raw):
+        n = len(raw)
+        f = [x % n for x in raw]
+        d = analyze_functional(f)
+        # every state reaches its circuit in exactly tail_length steps
+        for s in range(n):
+            x = s
+            for _ in range(d.tail_length[s]):
+                x = f[x]
+            assert x in d.circuits[d.circuit_of[s]]
+            assert d.on_circuit(x)
+        # circuits are genuinely cycles of f
+        for cyc in d.circuits:
+            for i, v in enumerate(cyc):
+                assert f[v] == cyc[(i + 1) % len(cyc)]
+        # gamma is divisible by every circuit length
+        for cyc in d.circuits:
+            assert d.gamma % len(cyc) == 0
+        # circuits partition the set of cyclic states
+        cyclic = {v for cyc in d.circuits for v in cyc}
+        assert cyclic == {s for s in range(n) if d.tail_length[s] == 0}
+
+    def test_rejects_out_of_range(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            analyze_functional([5])
+
+
+class TestLcm:
+    def test_basic(self):
+        assert lcm_of([2, 3, 4]) == 12
+        assert lcm_of([]) == 1
+        assert lcm_of([7]) == 7
+
+    def test_random_agrees_with_math(self):
+        import math
+
+        rng = random.Random(0)
+        for _ in range(50):
+            vals = [rng.randrange(1, 30) for _ in range(rng.randrange(1, 6))]
+            expect = 1
+            for v in vals:
+                expect = math.lcm(expect, v)
+            assert lcm_of(vals) == expect

@@ -1,0 +1,96 @@
+"""Tests for the walker-script DSL."""
+
+import pytest
+
+from repro.agents import STAY
+from repro.agents.dsl import compile_walker, parse_script, script_drift, script_period
+from repro.errors import AgentProtocolError
+from repro.lowerbounds import simulate_infinite_line
+
+
+class TestParsing:
+    def test_atoms(self):
+        assert parse_script("F3 p2 B1") == [("F", 3), ("P", 2), ("B", 1)]
+
+    def test_rejects_garbage(self):
+        for bad in ("", "X3", "F", "F0", "F-1", "F3,P2"):
+            with pytest.raises(AgentProtocolError):
+                parse_script(bad)
+
+    def test_period_and_drift(self):
+        assert script_period("F3 P2 B1") == 6
+        assert script_drift("F3 B1") == 2
+        assert script_drift("F2 B2") == 0
+        assert script_drift("F1 B2 F1") == 1 - 2 - 1  # F after B keeps new direction
+        assert script_drift("P5") == 0
+
+
+class TestCompiledBehavior:
+    def test_forward_walker_drifts(self):
+        agent = compile_walker("F4")
+        run = simulate_infinite_line(agent, 40)
+        assert abs(run.positions[-1]) == 40  # never turns
+
+    def test_out_and_back_is_bounded(self):
+        agent = compile_walker("F3 B3")
+        run = simulate_infinite_line(agent, 60)
+        assert run.max_distance() <= 3
+        # it returns to the origin every period
+        assert run.positions[::6].count(0) >= 9
+
+    def test_first_pass_drift_matches_script(self):
+        for script in ("F3 B1", "F5 B2", "F2 B2 F3"):
+            agent = compile_walker(script)
+            period = script_period(script)
+            run = simulate_infinite_line(agent, period)
+            assert abs(run.positions[period]) == abs(script_drift(script))
+
+    def test_even_drift_accumulates_odd_drift_alternates(self):
+        # even per-pass displacement: consistent drift
+        agent = compile_walker("F3 B1")  # drift +2 (even)
+        period = script_period("F3 B1")
+        run = simulate_infinite_line(agent, period * 10)
+        assert abs(run.positions[period * 10]) == 20
+        # odd per-pass displacement: parity flips, walker is bounded
+        agent = compile_walker("F5 B2")  # drift +3 (odd)
+        period = script_period("F5 B2")
+        run = simulate_infinite_line(agent, period * 10)
+        assert run.positions[period * 2] == 0  # +3 then -3
+        assert run.max_distance() <= 5
+
+    def test_pause_rounds_are_null_moves(self):
+        agent = compile_walker("F1 P3")
+        run = simulate_infinite_line(agent, 16)
+        assert len(run.leave_events) == 4  # one move per 4 rounds
+
+    def test_state_count(self):
+        assert compile_walker("F3 P2 B1").num_states == 6
+
+    def test_pure_pauser(self):
+        agent = compile_walker("P4")
+        run = simulate_infinite_line(agent, 12)
+        assert run.positions == [0] * 13
+
+
+class TestAsLowerBoundVictims:
+    def test_thm31_defeats_dsl_walkers(self):
+        from repro.lowerbounds import build_thm31_instance
+
+        for script in ("F2", "F3 B1", "F2 P1", "F4 B4"):
+            inst = build_thm31_instance(compile_walker(script))
+            assert inst.certified, script
+
+    def test_thm42_defeats_dsl_walkers(self):
+        from repro.lowerbounds import build_thm42_instance
+
+        for script in ("F2", "F3 B1 P1", "F5 B5"):
+            inst = build_thm42_instance(compile_walker(script))
+            assert inst.certified, script
+
+    def test_gamma_equals_period_for_simple_loops(self):
+        from repro.agents import analyze_functional
+
+        for script in ("F3 P2", "F4 B2"):
+            agent = compile_walker(script)
+            d = analyze_functional(agent.pi_prime())
+            assert d.gamma == script_period(script)

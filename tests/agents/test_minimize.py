@@ -1,0 +1,117 @@
+"""Tests for line-automaton minimization."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.agents import (
+    LineAutomaton,
+    alternator,
+    behaviorally_equivalent,
+    counting_walker,
+    minimize_line_automaton,
+    random_line_automaton,
+)
+
+
+class TestMinimize:
+    def test_alternator_already_minimal(self):
+        res = minimize_line_automaton(alternator())
+        assert res.minimal_states == 2
+        assert res.bits_saved == 0
+
+    def test_padded_automaton_shrinks(self):
+        # 4 states but states 2, 3 are unreachable clones of 0, 1.
+        a = LineAutomaton(
+            [(1, 1), (0, 0), (3, 3), (2, 2)],
+            [0, 1, 0, 1],
+        )
+        res = minimize_line_automaton(a)
+        assert res.minimal_states == 2
+
+    def test_equivalent_states_merge(self):
+        # states 1 and 2 behave identically (same output, same successors)
+        a = LineAutomaton(
+            [(1, 2), (0, 0), (0, 0)],
+            [0, 1, 1],
+        )
+        res = minimize_line_automaton(a)
+        assert res.minimal_states == 2
+        assert res.state_map[1] == res.state_map[2]
+
+    def test_counting_walker_is_tight(self):
+        # every counter value is behaviorally distinct: no big collapse
+        a = counting_walker(2)  # 8 states
+        res = minimize_line_automaton(a)
+        assert res.minimal_states >= 4
+
+    def test_minimized_preserves_behavior(self):
+        rng = random.Random(6)
+        for _ in range(20):
+            a = random_line_automaton(rng.randrange(2, 10), rng)
+            res = minimize_line_automaton(a)
+            assert behaviorally_equivalent(a, res.minimized)
+            assert res.minimal_states <= res.original_states
+
+    @given(st.integers(0, 100_000))
+    @settings(max_examples=40, deadline=None)
+    def test_idempotent(self, seed):
+        a = random_line_automaton(random.Random(seed).randrange(2, 8), random.Random(seed))
+        once = minimize_line_automaton(a).minimized
+        twice = minimize_line_automaton(once).minimized
+        assert once.num_states == twice.num_states
+
+
+class TestBehavioralEquivalence:
+    def test_distinguishes_outputs(self):
+        a = LineAutomaton([(0, 0)], [0])
+        b = LineAutomaton([(0, 0)], [1])
+        assert not behaviorally_equivalent(a, b)
+
+    def test_reflexive(self):
+        a = alternator()
+        assert behaviorally_equivalent(a, a)
+
+    def test_different_sizes_same_behavior(self):
+        a = LineAutomaton([(1, 1), (0, 0)], [0, 1])
+        # a 4-state unrolling of the same alternation
+        b = LineAutomaton([(1, 1), (2, 2), (3, 3), (0, 0)], [0, 1, 0, 1])
+        assert behaviorally_equivalent(a, b)
+
+
+class TestTreeAutomatonMinimization:
+    def test_random_agents_shrink_or_stay(self):
+        import random
+
+        from repro.agents import minimize_tree_automaton, random_tree_automaton
+
+        rng = random.Random(8)
+        for _ in range(10):
+            a = random_tree_automaton(rng.randrange(2, 8), rng=rng)
+            minimal, block_of = minimize_tree_automaton(a)
+            assert 1 <= minimal <= a.num_states
+            # blocks respect outputs
+            for s, t in [(s, t) for s in block_of for t in block_of]:
+                if block_of[s] == block_of[t]:
+                    assert a.output[s] == a.output[t]
+
+    def test_duplicate_states_merge(self):
+        from repro.agents import Automaton, minimize_tree_automaton
+
+        # two identical always-port-0 states
+        a = Automaton(2, {}, [0, 0])
+        minimal, block_of = minimize_tree_automaton(a)
+        assert minimal == 1
+
+    def test_distinct_outputs_stay_apart(self):
+        from repro.agents import Automaton, minimize_tree_automaton
+
+        table = {}
+        for i in range(-1, 3):
+            for d in range(1, 4):
+                table[(0, i, d)] = 1
+                table[(1, i, d)] = 0
+        a = Automaton(2, table, [0, 1])
+        minimal, _ = minimize_tree_automaton(a)
+        assert minimal == 2

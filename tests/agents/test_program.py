@@ -1,0 +1,180 @@
+"""Tests for register programs: Registers, Ctx, move/stay, AgentProgram."""
+
+import pytest
+
+from repro.agents import STAY, AgentProgram, Ctx, Registers, move, stay
+from repro.errors import AgentProtocolError
+from repro.trees import line
+
+
+class TestRegisters:
+    def test_declare_and_assign(self):
+        regs = Registers()
+        regs.declare("x", 10)
+        regs["x"] = 7
+        assert regs["x"] == 7
+
+    def test_bound_enforced(self):
+        regs = Registers()
+        regs.declare("x", 3)
+        with pytest.raises(AgentProtocolError):
+            regs["x"] = 4
+        with pytest.raises(AgentProtocolError):
+            regs["x"] = -1
+
+    def test_undeclared_rejected(self):
+        regs = Registers()
+        with pytest.raises(AgentProtocolError):
+            regs["ghost"] = 0
+
+    def test_redeclare_widens_never_narrows(self):
+        regs = Registers()
+        regs.declare("x", 3)
+        regs.declare("x", 10)
+        regs["x"] = 9
+        regs.declare("x", 2)  # narrowing is ignored
+        regs["x"] = 9  # still allowed
+        assert regs.report()["x"][0] == 10
+
+    def test_bits_declared(self):
+        regs = Registers()
+        regs.declare("a", 1)  # 1 bit
+        regs.declare("b", 7)  # 3 bits
+        regs.declare("c", 8)  # 4 bits
+        assert regs.bits_declared() == 1 + 3 + 4
+
+    def test_bits_used_tracks_peaks(self):
+        regs = Registers()
+        regs.declare("a", 1000)
+        regs["a"] = 3
+        regs["a"] = 100
+        regs["a"] = 5
+        assert regs.report()["a"] == (1000, 100)
+        assert regs.bits_used() == 7  # ceil(log2(101))
+
+    def test_negative_bound_rejected(self):
+        regs = Registers()
+        with pytest.raises(AgentProtocolError):
+            regs.declare("x", -1)
+
+    def test_initial_value(self):
+        regs = Registers()
+        regs.declare("x", 5, initial=4)
+        assert regs["x"] == 4
+
+
+class TestCtxAndMoves:
+    def _drive(self, gen, tree, start):
+        """Minimal driver: run a routine to completion on a tree."""
+        pos = start
+        log = []
+        try:
+            action = next(gen)
+            while True:
+                if action == STAY:
+                    obs = (-1, tree.degree(pos))
+                else:
+                    pos, in_port = tree.move(pos, action % tree.degree(pos))
+                    obs = (in_port, tree.degree(pos))
+                log.append(pos)
+                action = gen.send(obs)
+        except StopIteration:
+            return pos, log
+
+    def test_move_updates_ctx(self):
+        t = line(4)
+        ctx = Ctx(-1, t.degree(0))
+
+        def routine():
+            yield from move(ctx, 0)
+            assert ctx.degree == 2
+            yield from move(ctx, (ctx.in_port + 1) % 2)
+
+        pos, _ = self._drive(routine(), t, 0)
+        assert pos == 2
+        assert ctx.rounds == 2
+
+    def test_stay_resets_in_port(self):
+        t = line(3)
+        ctx = Ctx(-1, t.degree(1))
+
+        def routine():
+            yield from move(ctx, 0)
+            yield from stay(ctx, 2)
+            assert ctx.in_port == -1  # the model's (-1, d) after null moves
+
+        pos, _ = self._drive(routine(), t, 1)
+        assert pos == 0
+        assert ctx.rounds == 3
+
+    def test_stay_zero_is_noop(self):
+        t = line(3)
+        ctx = Ctx(-1, 2)
+
+        def routine():
+            yield from stay(ctx, 0)
+            yield from move(ctx, 0)
+
+        pos, log = self._drive(routine(), t, 1)
+        assert len(log) == 1
+
+
+class TestAgentProgram:
+    def test_lifecycle(self):
+        def program(start_degree, regs):
+            ctx = Ctx(-1, start_degree)
+            regs.declare("steps", 3)
+            for k in range(3):
+                regs["steps"] = k
+                yield from move(ctx, 0)
+
+        agent = AgentProgram(program)
+        t = line(5)
+        action = agent.start(t.degree(3))
+        pos = 3
+        rounds = 0
+        while not agent.finished:
+            pos, in_port = t.move(pos, action % t.degree(pos))
+            rounds += 1
+            action = agent.step(in_port, t.degree(pos))
+        assert rounds == 3
+        assert agent.memory_bits_declared() == 2
+
+    def test_finished_agent_stays(self):
+        def program(start_degree, regs):
+            return
+            yield  # pragma: no cover
+
+        agent = AgentProgram(program)
+        assert agent.start(2) == STAY
+        assert agent.finished
+        assert agent.step(0, 2) == STAY
+
+    def test_clone_is_independent(self):
+        def program(start_degree, regs):
+            regs.declare("x", 1)
+            yield 0
+
+        a = AgentProgram(program)
+        a.start(2)
+        b = a.clone()
+        assert b.registers.report() == {}
+        b.start(2)
+        assert b.registers.report() == {"x": (1, 0)}
+
+    def test_restart_resets_registers(self):
+        def program(start_degree, regs):
+            regs.declare("x", 10, initial=start_degree)
+            yield 0
+
+        a = AgentProgram(program)
+        a.start(5)
+        assert a.registers["x"] == 5
+        a.start(2)
+        assert a.registers["x"] == 2
+
+    def test_repr(self):
+        def myprog(start_degree, regs):
+            yield 0
+
+        assert "myprog" in repr(AgentProgram(myprog))

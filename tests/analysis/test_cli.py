@@ -1,0 +1,93 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_tree, main
+
+
+class TestBuildTree:
+    def test_specs(self):
+        assert build_tree("line:9").n == 9
+        assert build_tree("star:5").n == 6
+        assert build_tree("binary:3").n == 15
+        assert build_tree("binomial:4").n == 16
+        assert build_tree("spider:2,3").n == 6
+        assert build_tree("random:12").n == 12
+        assert build_tree("subdivided:2").n == 7 + 6 * 2
+
+    def test_random_seeded(self):
+        assert build_tree("random:15", seed=4) == build_tree("random:15", seed=4)
+
+    def test_unknown_spec(self):
+        with pytest.raises(SystemExit):
+            build_tree("torus:9")
+
+
+class TestCommands:
+    def test_solve(self, capsys):
+        rc = main(["solve", "--tree", "line:7", "-u", "0", "-v", "4"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "met=True" in out
+
+    def test_solve_infeasible(self, capsys):
+        rc = main(["solve", "--tree", "line:6", "-u", "0", "-v", "5"])
+        assert rc == 1
+        assert "infeasible" in capsys.readouterr().out
+
+    def test_baseline(self, capsys):
+        rc = main(["baseline", "--tree", "star:4", "-u", "1", "-v", "3",
+                   "--delay", "9"])
+        assert rc == 0
+        assert "met=True" in capsys.readouterr().out
+
+    def test_atlas(self, capsys):
+        rc = main(["atlas", "-n", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") == 4  # header + 3 trees
+
+    def test_thm31(self, capsys):
+        rc = main(["thm31", "--max-k", "2"])
+        assert rc == 0
+        assert "True" in capsys.readouterr().out
+
+    def test_thm42(self, capsys):
+        rc = main(["thm42", "--max-pause", "1"])
+        assert rc == 0
+        assert "True" in capsys.readouterr().out
+
+    def test_thm43(self, capsys):
+        rc = main(["thm43", "--states", "3", "-i", "4"])
+        assert rc == 0
+        assert "certified = True" in capsys.readouterr().out
+
+    def test_solve_with_relabel(self, capsys):
+        rc = main(["solve", "--tree", "binary:2", "-u", "3", "-v", "6",
+                   "--relabel", "--seed", "5"])
+        assert rc == 0
+
+
+class TestNewCommands:
+    def test_verify(self, capsys):
+        rc = main(["verify", "-n", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "failures: 0" in out
+
+    def test_gather(self, capsys):
+        rc = main(["gather", "--tree", "spider:2,2,2", "--starts", "1,3,5",
+                   "--delays", "0,5,11"])
+        assert rc == 0
+        assert "gathered=True" in capsys.readouterr().out
+
+    def test_viz_ascii(self, capsys):
+        rc = main(["viz", "--tree", "star:3", "--marks", "1=here"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "<here>" in out
+
+    def test_viz_dot(self, capsys):
+        rc = main(["viz", "--tree", "line:4", "--dot"])
+        assert rc == 0
+        assert "graph tree {" in capsys.readouterr().out

@@ -1,0 +1,67 @@
+"""Tests for feasibility classification."""
+
+from repro.analysis import classify_all_pairs, classify_pair, summarize_tree
+from repro.analysis.feasibility import (
+    ASYMMETRIC,
+    PERFECTLY_SYMMETRIZABLE,
+    SYMMETRIC_FEASIBLE,
+)
+from repro.trees import all_trees, complete_binary_tree, line, star
+
+
+class TestClassifyPair:
+    def test_odd_line_endpoints(self):
+        pc = classify_pair(line(7), 0, 6)
+        assert pc.kind == SYMMETRIC_FEASIBLE
+        assert pc.feasible
+
+    def test_even_line_endpoints(self):
+        pc = classify_pair(line(8), 0, 7)
+        assert pc.kind == PERFECTLY_SYMMETRIZABLE
+        assert not pc.feasible
+
+    def test_asymmetric(self):
+        pc = classify_pair(line(7), 0, 3)
+        assert pc.kind == ASYMMETRIC
+        assert pc.feasible
+
+    def test_binary_tree_leaves(self):
+        pc = classify_pair(complete_binary_tree(2), 3, 6)
+        assert pc.kind == SYMMETRIC_FEASIBLE
+
+
+class TestSummaries:
+    def test_star_summary(self):
+        s = summarize_tree(star(4))
+        assert s.center_kind == "node"
+        assert not s.symmetrizable_tree
+        assert s.pairs_perfectly_symmetrizable == 0
+        assert s.pairs_total == 10
+        assert s.pairs_feasible == 10
+        # leaves are mutually topologically symmetric: C(4,2) = 6 pairs
+        assert s.pairs_symmetric_feasible == 6
+
+    def test_even_line_summary(self):
+        s = summarize_tree(line(6))
+        assert s.center_kind == "edge"
+        assert s.symmetrizable_tree
+        # mirror pairs: (0,5), (1,4), (2,3)
+        assert s.pairs_perfectly_symmetrizable == 3
+
+    def test_counts_add_up_exhaustive(self):
+        for n in range(2, 8):
+            for t in all_trees(n):
+                s = summarize_tree(t)
+                assert (
+                    s.pairs_perfectly_symmetrizable
+                    + s.pairs_symmetric_feasible
+                    + s.pairs_asymmetric
+                    == s.pairs_total
+                    == n * (n - 1) // 2
+                )
+                if s.center_kind == "node":
+                    assert s.pairs_perfectly_symmetrizable == 0
+                    assert not s.symmetrizable_tree
+
+    def test_classify_all_pairs_iterates_all(self):
+        assert len(list(classify_all_pairs(line(5)))) == 10

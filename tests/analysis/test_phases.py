@@ -1,0 +1,49 @@
+"""Tests for the stage-timeline analyzer."""
+
+from repro.analysis import format_timeline, stage_timeline
+from repro.core import rendezvous_agent
+from repro.sim import run_solo
+from repro.trees import line, star, subdivide, complete_binary_tree
+
+
+class TestStageTimeline:
+    def test_symmetric_run_has_all_stages(self):
+        run = run_solo(line(9), 0, rendezvous_agent(max_outer=2), 30_000)
+        phases = stage_timeline(run)
+        names = [p.name for p in phases]
+        assert names[0] == "explo"
+        assert "synchro" in names
+        assert any(n.startswith("outer(") for n in names)
+
+    def test_explo_duration_matches_theory(self):
+        t = line(9)
+        run = run_solo(t, 0, rendezvous_agent(max_outer=1), 30_000)
+        phases = {p.name: p for p in stage_timeline(run)}
+        # Stage 1 from a leaf: exactly 2(n-1) rounds
+        assert phases["explo"].duration == 2 * (t.n - 1)
+
+    def test_easy_case_timeline(self):
+        run = run_solo(star(4), 1, rendezvous_agent(max_outer=1), 1000)
+        names = [p.name for p in stage_timeline(run)]
+        assert names == ["explo", "walk_and_wait"]
+
+    def test_outer_iterations_ordered(self):
+        run = run_solo(line(7), 0, rendezvous_agent(max_outer=3), 200_000)
+        outers = [p for p in stage_timeline(run) if p.name.startswith("outer(")]
+        assert len(outers) >= 2
+        starts = [p.start_round for p in outers]
+        assert starts == sorted(starts)
+
+    def test_format_timeline(self):
+        run = run_solo(
+            subdivide(complete_binary_tree(2), 1), 3,
+            rendezvous_agent(max_outer=1), 60_000,
+        )
+        text = format_timeline(stage_timeline(run))
+        assert "phase" in text and "explo" in text
+
+    def test_unfinished_run_open_ended(self):
+        run = run_solo(line(15), 0, rendezvous_agent(max_outer=9), 500)
+        phases = stage_timeline(run)
+        assert phases[-1].end_round is None
+        assert phases[-1].duration is None

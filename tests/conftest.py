@@ -1,0 +1,15 @@
+"""Shared test configuration.
+
+Hypothesis is derandomized so the suite is reproducible in CI and in the
+recorded test_output.txt; individual suites opt into more examples where
+the extra coverage is worth the time.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

@@ -1,0 +1,153 @@
+"""Integration tests for the full Theorem 4.1 agent.
+
+The paper's guarantee: for every tree, every port labeling, and every non
+perfectly symmetrizable pair of initial positions, two identical agents
+with simultaneous start rendezvous.  We verify it exhaustively on small
+trees and by random sweeps on larger ones.
+"""
+
+import random
+
+import pytest
+
+from repro.core import rendezvous_agent, solve
+from repro.errors import InfeasibleRendezvousError
+from repro.sim import run_rendezvous
+from repro.trees import (
+    all_labelings,
+    all_trees,
+    binomial_tree,
+    complete_binary_tree,
+    line,
+    perfectly_symmetrizable,
+    random_relabel,
+    random_tree,
+    subdivide,
+)
+
+
+class TestExhaustiveSmall:
+    def test_all_trees_all_feasible_pairs_canonical_labeling(self):
+        for n in range(2, 9):
+            for t in all_trees(n):
+                for u in range(n):
+                    for v in range(u + 1, n):
+                        if perfectly_symmetrizable(t, u, v):
+                            continue
+                        r = solve(t, u, v, max_outer=10)
+                        assert r.met, (n, u, v, t.debug_string())
+
+    def test_all_labelings_of_small_lines(self):
+        """Lines stress the symmetric-contraction path; sweep every labeling."""
+        for n in (4, 5, 6):
+            t = line(n)
+            for lab in all_labelings(t):
+                for u in range(n):
+                    for v in range(u + 1, n):
+                        if perfectly_symmetrizable(lab, u, v):
+                            continue
+                        r = solve(lab, u, v, max_outer=10)
+                        assert r.met, (n, u, v, lab.debug_string())
+
+    def test_random_labelings_n7(self):
+        rng = random.Random(5)
+        for t in all_trees(7):
+            lab = random_relabel(t, rng)
+            for u in range(7):
+                for v in range(u + 1, 7):
+                    if perfectly_symmetrizable(lab, u, v):
+                        continue
+                    assert solve(lab, u, v, max_outer=10).met
+
+
+class TestPaperExamples:
+    def test_complete_binary_tree_leaves(self):
+        """Paper §1: two leaves of a complete binary tree are topologically
+        symmetric but NOT perfectly symmetrizable — rendezvous succeeds."""
+        t = complete_binary_tree(3)
+        r = solve(t, 7, 14)
+        assert r.met
+
+    def test_odd_line_endpoints(self):
+        t = line(9)
+        r = solve(t, 0, 8)
+        assert r.met
+
+    def test_binomial_tree(self):
+        """Paper §4.1: binomial trees are the example where both agents may
+        end at the two roots of the two halves."""
+        t = binomial_tree(4)
+        rng = random.Random(2)
+        lab = random_relabel(t, rng)
+        count = 0
+        for u in range(t.n):
+            for v in range(u + 1, t.n):
+                if perfectly_symmetrizable(lab, u, v):
+                    continue
+                count += 1
+                if count % 13 == 0:  # sample: full sweep is large
+                    assert solve(lab, u, v, max_outer=10).met
+
+    def test_infeasible_raises(self):
+        t = line(8)
+        with pytest.raises(InfeasibleRendezvousError):
+            solve(t, 0, 7)
+
+    def test_infeasible_can_run_anyway(self):
+        t = line(4)
+        r = solve(t, 0, 3, check_feasibility=False, max_rounds=30_000)
+        assert not r.met
+        assert not r.feasible
+
+
+class TestScaling:
+    def test_larger_random_trees(self):
+        rng = random.Random(11)
+        for _ in range(6):
+            t = random_relabel(random_tree(rng.randrange(15, 45), rng), rng)
+            pairs = 0
+            while pairs < 3:
+                u, v = rng.randrange(t.n), rng.randrange(t.n)
+                if u == v or perfectly_symmetrizable(t, u, v):
+                    continue
+                pairs += 1
+                assert solve(t, u, v, max_outer=12).met
+
+    def test_subdivided_trees_keep_working(self):
+        """Growing n at fixed ℓ (the memory-gap regime)."""
+        rng = random.Random(3)
+        base = complete_binary_tree(2)
+        for times in (1, 4, 9):
+            t = random_relabel(subdivide(base, times), rng)
+            u, v = 3, 6  # two leaves of the base tree (ids preserved)
+            assert not perfectly_symmetrizable(t, u, v)
+            assert solve(t, u, v, max_outer=12).met
+
+    def test_memory_scales_with_leaves_not_nodes(self):
+        """Declared bits must be flat in n at fixed ℓ (up to the loglog
+        prime counters) — the headline upper bound."""
+        base = complete_binary_tree(2)
+        bits = []
+        for times in (0, 3, 9):
+            t = subdivide(base, times)
+            r = solve(t, 3, 6, max_outer=10)
+            assert r.met
+            bits.append(r.memory.declared)
+        assert max(bits) - min(bits) <= 4  # only prime/outer counters may drift
+
+
+class TestDeterminism:
+    def test_same_instance_same_outcome(self):
+        t = line(11)
+        a = solve(t, 2, 7)
+        b = solve(t, 2, 7)
+        assert a.outcome.meeting_round == b.outcome.meeting_round
+        assert a.outcome.meeting_node == b.outcome.meeting_node
+
+    def test_agent_clone_restarts_fresh(self):
+        proto = rendezvous_agent(max_outer=5)
+        t = line(5)
+        out1 = run_rendezvous(t, proto, 0, 2, max_rounds=50_000)
+        out2 = run_rendezvous(t, proto, 0, 2, max_rounds=50_000)
+        assert out1.met == out2.met
+        assert out1.meeting_round == out2.meeting_round

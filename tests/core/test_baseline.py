@@ -1,0 +1,125 @@
+"""Tests for the arbitrary-delay baseline agent (Θ(log n) bits)."""
+
+import random
+
+from repro.core import baseline_agent, invariant_rank, solve_with_delay
+from repro.sim import run_rendezvous
+from repro.trees import (
+    all_trees,
+    are_symmetric_for_labeling,
+    edge_colored_line,
+    find_center,
+    line,
+    port_preserving_automorphism,
+    random_relabel,
+    random_tree,
+    star,
+)
+
+
+class TestInvariantRank:
+    def test_symmetric_pairs_share_rank(self):
+        t = edge_colored_line(6)
+        f = port_preserving_automorphism(t)
+        assert f is not None
+        x, y = find_center(t).edge
+        for w in range(t.n):
+            assert invariant_rank(t, x, y, w) == invariant_rank(t, x, y, f[w])
+
+    def test_nonsymmetric_get_distinct_ranks(self):
+        t = edge_colored_line(8)
+        f = port_preserving_automorphism(t)
+        x, y = find_center(t).edge
+        for u in range(t.n):
+            for v in range(t.n):
+                if v in (u, f[u]):
+                    continue
+                assert invariant_rank(t, x, y, u) != invariant_rank(t, x, y, v)
+
+    def test_rank_range(self):
+        t = edge_colored_line(10)
+        x, y = find_center(t).edge
+        ranks = {invariant_rank(t, x, y, w) for w in range(t.n)}
+        assert ranks == set(range(t.n // 2))  # orbits have size exactly 2
+
+
+class TestBaselineDelays:
+    def test_exhaustive_small_with_delays(self):
+        rng = random.Random(8)
+        for n in range(2, 7):
+            for t in all_trees(n):
+                lab = random_relabel(t, rng)
+                for u in range(n):
+                    for v in range(u + 1, n):
+                        if are_symmetric_for_labeling(lab, u, v):
+                            continue
+                        for delay in (0, 5, 17):
+                            r = solve_with_delay(lab, u, v, delay)
+                            assert r.met, (n, u, v, delay)
+
+    def test_large_delay(self):
+        t = line(9)
+        r = solve_with_delay(t, 1, 5, 500)
+        assert r.met
+
+    def test_both_delay_sides(self):
+        t = star(4)
+        for delayed in (1, 2):
+            r = solve_with_delay(t, 1, 2, 9, delayed=delayed)
+            assert r.met
+
+    def test_symmetric_positions_never_meet(self):
+        """On a symmetric labeling, mirror positions are infeasible even
+        with delay 0 — the baseline runs forever."""
+        t = edge_colored_line(6)
+        f = port_preserving_automorphism(t)
+        u = 1
+        out = run_rendezvous(
+            t, baseline_agent(), u, f[u], max_rounds=40_000
+        )
+        assert not out.met
+
+    def test_memory_report_is_log_n(self):
+        """Declared register bits grow like log n on lines."""
+        bits = []
+        for m in (8, 16, 32, 64):
+            t = edge_colored_line(m)
+            r = solve_with_delay(t, 1, m - 3, 3)
+            assert r.met
+            bits.append(r.memory.declared)
+        assert bits == sorted(bits)
+        assert bits[-1] > bits[0]
+
+
+class TestBaselineCases:
+    def test_central_node_case(self):
+        rng = random.Random(2)
+        t = random_relabel(star(5), rng)
+        r = solve_with_delay(t, 1, 4, 11)
+        # Meeting may happen en route (the exploring agent can step onto the
+        # sleeping one) or at the central node; both count as rendezvous.
+        assert r.met
+
+    def test_asymmetric_central_edge_case(self):
+        from repro.trees import Tree
+
+        # central edge with different-shaped halves
+        t = Tree.from_edges(5, [(0, 1), (1, 2), (2, 3), (2, 4)])
+        assert find_center(t).is_edge
+        r = solve_with_delay(t, 0, 3, 4)
+        assert r.met
+
+    def test_random_trees_random_delays(self):
+        rng = random.Random(21)
+        for _ in range(8):
+            t = random_relabel(random_tree(rng.randrange(4, 18), rng), rng)
+            tries = 0
+            while tries < 30:
+                u, v = rng.randrange(t.n), rng.randrange(t.n)
+                tries += 1
+                if u == v or are_symmetric_for_labeling(t, u, v):
+                    continue
+                delay = rng.randrange(0, 60)
+                r = solve_with_delay(t, u, v, delay, delayed=rng.choice((1, 2)))
+                assert r.met, (t.debug_string(), u, v, delay)
+                break

@@ -1,0 +1,109 @@
+"""Unit + property tests for the Lemma 4.1 prime protocol."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    blind_rendezvous_feasible,
+    is_prime,
+    next_prime,
+    nth_prime,
+    prime_line_agent,
+)
+from repro.sim import run_rendezvous
+from repro.trees import edge_colored_line, line
+
+
+class TestPrimes:
+    def test_is_prime_small(self):
+        primes = [x for x in range(50) if is_prime(x)]
+        assert primes == [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47]
+
+    def test_next_prime(self):
+        assert next_prime(2) == 3
+        assert next_prime(3) == 5
+        assert next_prime(13) == 17
+        assert next_prime(1) == 2
+
+    def test_nth_prime(self):
+        assert [nth_prime(i) for i in range(1, 8)] == [2, 3, 5, 7, 11, 13, 17]
+        with pytest.raises(ValueError):
+            nth_prime(0)
+
+    @given(st.integers(2, 500))
+    @settings(max_examples=60, deadline=None)
+    def test_next_prime_is_prime_and_minimal(self, p):
+        q = next_prime(p)
+        assert is_prime(q) and q > p
+        assert not any(is_prime(x) for x in range(p + 1, q))
+
+
+class TestFeasibilityPredicate:
+    def test_odd_always_feasible(self):
+        assert blind_rendezvous_feasible(7, 1, 7)
+        assert blind_rendezvous_feasible(5, 2, 4)
+
+    def test_even_mirror_infeasible(self):
+        assert not blind_rendezvous_feasible(6, 2, 5)
+        assert not blind_rendezvous_feasible(8, 1, 8)
+        assert blind_rendezvous_feasible(8, 1, 7)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            blind_rendezvous_feasible(5, 3, 3)
+
+
+class TestPrimeProtocolOnLines:
+    def test_feasible_pairs_meet_exhaustive(self):
+        """Lemma 4.1: on every path up to 10 nodes, every feasible pair
+        meets (canonical and edge-colored labelings)."""
+        for m in range(2, 11):
+            for variant in (line(m), edge_colored_line(m)) if m >= 2 else (line(m),):
+                for a in range(1, m + 1):
+                    for b in range(a + 1, m + 1):
+                        if not blind_rendezvous_feasible(m, a, b):
+                            continue
+                        out = run_rendezvous(
+                            variant, prime_line_agent(), a - 1, b - 1,
+                            max_rounds=100_000,
+                        )
+                        assert out.met, (m, a, b)
+
+    def test_mirror_pairs_never_meet_on_mirror_labeling(self):
+        """On the mirror-symmetric labeling, mirror pairs are symmetric and
+        the protocol (correctly) fails forever — they keep crossing."""
+        for m in (6, 8):
+            t = edge_colored_line(m)
+            from repro.trees import are_symmetric_for_labeling
+
+            for a in range(1, m + 1):
+                b = m + 1 - a
+                if b <= a:
+                    continue
+                if not are_symmetric_for_labeling(t, a - 1, b - 1):
+                    continue  # labeling not mirror-symmetric for this m
+                out = run_rendezvous(
+                    t, prime_line_agent(6), a - 1, b - 1, max_rounds=60_000
+                )
+                assert not out.met, (m, a, b)
+
+    def test_prime_index_scales_slowly(self):
+        """The highest prime needed grows ~log m: for m <= 41 the first few
+        primes always suffice for endpoint starts."""
+        for m in (5, 9, 17, 33, 41):
+            out = run_rendezvous(
+                line(m), prime_line_agent(6), 0, m - 2, max_rounds=500_000
+            )
+            assert out.met
+
+    def test_memory_is_loglog(self):
+        """Registers of the prime agent hold only the prime and its index."""
+        agent = prime_line_agent(4)
+        out = run_rendezvous(line(21), agent, 0, 12, max_rounds=500_000)
+        assert out.met
+        executed = out.agents[0]
+        report = executed.registers.report()
+        assert set(report) <= {"prime_p", "prime_k"}
+        # p stays tiny: within the first few primes
+        assert report["prime_p"][1] <= 13

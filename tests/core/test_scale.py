@@ -1,0 +1,48 @@
+"""Larger-scale end-to-end runs (still laptop-friendly)."""
+
+import random
+
+import pytest
+
+from repro.core import solve
+from repro.trees import (
+    complete_binary_tree,
+    line,
+    perfectly_symmetrizable,
+    random_relabel,
+    random_tree,
+    subdivide,
+)
+
+
+class TestScale:
+    def test_line_60(self):
+        rng = random.Random(1)
+        t = random_relabel(line(60), rng)
+        pairs = [(0, 31), (5, 40), (13, 47)]
+        for u, v in pairs:
+            if perfectly_symmetrizable(t, u, v):
+                continue
+            r = solve(t, u, v, max_outer=12)
+            assert r.met, (u, v)
+
+    def test_binary_tree_height_5(self):
+        rng = random.Random(2)
+        t = random_relabel(complete_binary_tree(5), rng)  # 63 nodes, 32 leaves
+        assert solve(t, 31, 62, max_outer=10).met
+
+    def test_subdivided_deep(self):
+        rng = random.Random(3)
+        t = random_relabel(subdivide(complete_binary_tree(2), 20), rng)  # 127 nodes
+        assert solve(t, 3, 6, max_outer=10).met
+
+    def test_random_100(self):
+        rng = random.Random(4)
+        t = random_relabel(random_tree(100, rng), rng)
+        done = 0
+        while done < 3:
+            u, v = rng.randrange(t.n), rng.randrange(t.n)
+            if u == v or perfectly_symmetrizable(t, u, v):
+                continue
+            assert solve(t, u, v, max_outer=12).met
+            done += 1

@@ -1,0 +1,46 @@
+"""Tests for the infinite-line simulation layer."""
+
+from repro.agents import STAY, Automaton, LineAutomaton, alternator, pausing_walker
+from repro.lowerbounds import simulate_infinite_line
+
+
+class TestSimulateInfiniteLine:
+    def test_alternator_drifts(self):
+        run = simulate_infinite_line(alternator(), 40)
+        assert run.rounds == 40
+        # it alternates colors, so it keeps a consistent direction
+        assert abs(run.positions[-1]) == 40
+
+    def test_stayer_never_moves(self):
+        stayer = LineAutomaton([(0, 0)], [STAY])
+        run = simulate_infinite_line(stayer, 25)
+        assert run.positions == [0] * 26
+        assert run.leave_events == []
+        assert run.max_distance() == 0
+
+    def test_pausing_walker_mixes_idle_and_moves(self):
+        run = simulate_infinite_line(pausing_walker(2), 30)
+        moves = len(run.leave_events)
+        assert 0 < moves < 30
+        # one move per (pause+1) rounds
+        assert moves == 30 // 3
+
+    def test_leave_events_consistent_with_positions(self):
+        run = simulate_infinite_line(alternator(), 50)
+        for ev in run.leave_events:
+            assert run.positions[ev.round_index - 1] == ev.position
+            assert run.positions[ev.round_index] == ev.position + ev.direction
+
+    def test_color_semantics(self):
+        """Port c from position p crosses the incident edge of color c."""
+        # An agent that always outputs port 0: from position 0 the right
+        # edge {0,1} has color 0, so the first move goes right; from 1 the
+        # edge of color 0 is the one back to 0 — it oscillates.
+        always0 = LineAutomaton([(0, 0)], [0])
+        run = simulate_infinite_line(always0, 10)
+        assert run.positions[:5] == [0, 1, 0, 1, 0]
+
+    def test_span(self):
+        run = simulate_infinite_line(alternator(), 12)
+        lo, hi = run.span(5)
+        assert (lo, hi) in {(-5, 0), (0, 5)}

@@ -1,0 +1,62 @@
+"""Tests for the Theorem 4.2 adversary (simultaneous start, Ω(log log n))."""
+
+import random
+
+from repro.agents import (
+    alternator,
+    analyze_functional,
+    counting_walker,
+    pausing_walker,
+    random_line_automaton,
+)
+from repro.lowerbounds import build_thm42_instance
+from repro.trees import perfectly_symmetrizable
+
+
+class TestThm42Construction:
+    def test_alternator(self):
+        inst = build_thm42_instance(alternator())
+        assert inst.certified
+        assert inst.kind == "drifting"
+        assert inst.x_prime > inst.x > 0
+        assert inst.line_edges == inst.x + inst.x_prime + 1
+
+    def test_agents_start_adjacent(self):
+        inst = build_thm42_instance(alternator())
+        assert abs(inst.start1 - inst.start2) == 1
+
+    def test_positions_not_symmetrizable(self):
+        for agent in (alternator(), pausing_walker(1), pausing_walker(2)):
+            inst = build_thm42_instance(agent)
+            assert not perfectly_symmetrizable(inst.tree, inst.start1, inst.start2)
+            assert inst.certified
+
+    def test_gamma_matches_digraph(self):
+        a = pausing_walker(2)
+        inst = build_thm42_instance(a)
+        assert inst.gamma == analyze_functional(a.pi_prime()).gamma
+
+    def test_bounded_agent(self):
+        inst = build_thm42_instance(counting_walker(2))
+        assert inst.kind == "bounded"
+        assert inst.certified
+
+    def test_random_agents(self):
+        rng = random.Random(99)
+        certified = 0
+        for _ in range(6):
+            inst = build_thm42_instance(random_line_automaton(4, rng))
+            certified += inst.certified
+        assert certified == 6
+
+    def test_drift_direction_both_ways(self):
+        """Orientation handling: find agents drifting each way."""
+        rng = random.Random(5)
+        kinds = set()
+        for _ in range(40):
+            inst = build_thm42_instance(random_line_automaton(3, rng), verify=False)
+            if inst.kind == "drifting":
+                kinds.add(inst.start1 < inst.start2)
+            if len(kinds) == 2:
+                break
+        assert len(kinds) == 2

@@ -1,0 +1,181 @@
+"""Property-based suites over the model's core invariants (hypothesis).
+
+Each property here is a statement the paper's proofs rely on; violating any
+of them would silently break a theorem, so they get generative coverage
+beyond the unit tests.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.agents import random_line_automaton
+from repro.sim import run_rendezvous
+from repro.trees import (
+    basic_walk,
+    basic_walk_until_branching,
+    canonical_form,
+    contract,
+    counter_basic_walk_until_branching,
+    edge_colored_line,
+    find_center,
+    perfectly_symmetrizable,
+    port_preserving_automorphism,
+    random_relabel,
+    random_tree,
+    subdivide,
+)
+
+
+def _tree(seed, lo=2, hi=30):
+    rng = random.Random(seed)
+    return random_relabel(random_tree(rng.randrange(lo, hi), rng), rng), rng
+
+
+class TestContractionInvariants:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_nu_bound_and_leaves(self, seed):
+        t, _ = _tree(seed)
+        c = contract(t)
+        ell = t.num_leaves
+        assert c.nu <= max(2 * ell - 1, 1)
+        if t.n > 1:
+            # leaves of T are exactly the degree-1 nodes of T'
+            leaves_tp = {c.to_original[a] for a in range(c.nu)
+                         if c.contracted.degree(a) == 1}
+            assert leaves_tp == set(t.leaves())
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_path_lengths_sum_to_edge_count(self, seed):
+        t, _ = _tree(seed, lo=3)
+        c = contract(t)
+        total = sum(c.path_length(a, p) for a in range(c.nu)
+                    for p in range(c.contracted.degree(a)))
+        assert total == 2 * t.num_edges  # every T-edge counted once per direction
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_contraction_idempotent(self, seed):
+        t, _ = _tree(seed)
+        tp = contract(t).contracted
+        tpp = contract(tp).contracted
+        assert canonical_form(tp) == canonical_form(tpp)
+
+
+class TestBasicWalkProjection:
+    """A basic walk in T projects onto a basic walk in T' — the identity
+    Explo-bis is built on."""
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_projection(self, seed):
+        t, rng = _tree(seed, lo=3)
+        c = contract(t)
+        tp = c.contracted
+        if tp.n < 2:
+            return
+        branching = [v for v in range(t.n) if t.degree(v) != 2]
+        start = rng.choice(branching)
+        walk = basic_walk(t, start)
+        projected = [c.from_original[s.to_node] for s in walk
+                     if t.degree(s.to_node) != 2]
+        expected = [s.to_node for s in basic_walk(tp, c.from_original[start])]
+        assert projected == expected
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_bw_cbw_inverse(self, seed):
+        t, rng = _tree(seed, lo=3)
+        branching = [v for v in range(t.n) if t.degree(v) != 2]
+        start = rng.choice(branching)
+        j = rng.randrange(1, 5)
+        fwd = basic_walk_until_branching(t, start, j)
+        back = counter_basic_walk_until_branching(
+            t, fwd[-1].to_node, fwd[-1].in_port, j
+        )
+        assert back[-1].to_node == start
+
+
+class TestSymmetryInvariants:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_automorphism_is_port_preserving_involution(self, seed):
+        t, _ = _tree(seed)
+        f = port_preserving_automorphism(t)
+        if f is None:
+            return
+        for u, v in f.items():
+            assert f[v] == u  # involution
+            assert t.degree(u) == t.degree(v)
+            for p in range(t.degree(u)):
+                assert f[t.neighbors(u)[p]] == t.neighbors(v)[p]
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_perfect_symmetrizability_invariant_under_relabeling(self, seed):
+        t, rng = _tree(seed, hi=14)
+        t2 = random_relabel(t, rng)
+        for u in range(min(t.n, 5)):
+            for v in range(u + 1, min(t.n, 6)):
+                assert perfectly_symmetrizable(t, u, v) == perfectly_symmetrizable(
+                    t2, u, v
+                )
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_central_node_blocks_symmetry(self, seed):
+        t, _ = _tree(seed)
+        if find_center(t).is_node:
+            assert port_preserving_automorphism(t) is None
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_even_subdivision_preserves_feasibility(self, seed):
+        # NB: only EVEN subdivision counts preserve the center's kind (odd
+        # counts flip the diameter's parity and can turn a central edge
+        # into a central node, changing which pairs are symmetrizable —
+        # subdivide(line(2), 1) is the smallest example).
+        t, rng = _tree(seed, hi=10)
+        fat = subdivide(t, 2)
+        for u in range(t.n):
+            for v in range(u + 1, t.n):
+                # original node ids survive subdivision unchanged
+                assert perfectly_symmetrizable(t, u, v) == perfectly_symmetrizable(
+                    fat, u, v
+                )
+
+
+class TestEngineInvariants:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_determinism(self, seed):
+        rng = random.Random(seed)
+        t = edge_colored_line(rng.randrange(4, 12))
+        agent = random_line_automaton(rng.randrange(2, 6), rng)
+        u, v = 0, rng.randrange(1, t.n)
+        a = run_rendezvous(t, agent, u, v, max_rounds=500)
+        b = run_rendezvous(t, agent, u, v, max_rounds=500)
+        assert (a.met, a.meeting_round, a.meeting_node) == (
+            b.met,
+            b.meeting_round,
+            b.meeting_node,
+        )
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_certified_runs_really_never_meet(self, seed):
+        rng = random.Random(seed)
+        t = edge_colored_line(rng.randrange(4, 10))
+        agent = random_line_automaton(rng.randrange(1, 5), rng)
+        u, v = 0, rng.randrange(1, t.n)
+        out = run_rendezvous(t, agent, u, v, max_rounds=50_000, certify=True)
+        if out.certified_never:
+            # replay WITHOUT certification for 4x the certificate horizon:
+            # still no meeting
+            replay = run_rendezvous(
+                t, agent, u, v, max_rounds=4 * out.rounds_executed + 100
+            )
+            assert not replay.met

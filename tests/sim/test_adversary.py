@@ -1,0 +1,127 @@
+"""Tests for adversarial sweeps and the Parity Lemma as a runtime property."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.agents import STAY, Automaton, random_line_automaton
+from repro.core import rendezvous_agent
+from repro.sim import (
+    adversarial_search,
+    all_start_pairs,
+    feasible_start_pairs,
+    labelings_for,
+    run_rendezvous,
+)
+from repro.trees import (
+    all_trees,
+    complete_binary_tree,
+    count_labelings,
+    edge_colored_line,
+    line,
+    perfectly_symmetrizable,
+    star,
+)
+
+
+class TestPairEnumeration:
+    def test_all_start_pairs(self):
+        assert list(all_start_pairs(line(4))) == [
+            (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)
+        ]
+
+    def test_feasible_pairs_excludes_mirrors(self):
+        pairs = set(feasible_start_pairs(line(6)))
+        assert (0, 5) not in pairs
+        assert (1, 4) not in pairs
+        assert (2, 3) not in pairs
+        assert (0, 4) in pairs
+
+    def test_feasible_pairs_central_node_tree(self):
+        t = star(4)
+        assert len(list(feasible_start_pairs(t))) == 10  # everything
+
+
+class TestLabelingBattery:
+    def test_exhaustive_when_small(self):
+        t = line(4)
+        labs = labelings_for(t)
+        assert len(labs) == count_labelings(t) == 4
+
+    def test_sampled_when_large(self):
+        t = star(6)  # 720 labelings > default would still be exhaustive...
+        labs = labelings_for(t, exhaustive_limit=10, samples=5)
+        assert len(labs) == 5
+
+
+class TestAdversarialSearch:
+    def test_good_agent_survives(self):
+        t = line(5)
+        report = adversarial_search(
+            t, rendezvous_agent(max_outer=8), max_rounds=400_000
+        )
+        assert report.all_succeeded
+        assert report.instances_run > 0
+        assert report.max_meeting_round > 0
+
+    def test_bad_agent_fails_and_is_reported(self):
+        # The do-nothing agent cannot rendezvous anywhere.
+        lazy = Automaton(1, {}, [STAY])
+        t = line(4)
+        report = adversarial_search(
+            t, lazy, max_rounds=100, certify=True, stop_at_first_failure=True
+        )
+        assert not report.all_succeeded
+        assert report.failures
+        first = report.failures[0]
+        assert first.outcome.certified_never
+
+    def test_delay_axis(self):
+        from repro.core import baseline_agent
+
+        t = star(3)
+        report = adversarial_search(
+            t,
+            baseline_agent(),
+            delays=(0, 3),
+            max_rounds=20_000,
+        )
+        assert report.all_succeeded
+        # delay > 0 doubles the instance count for the delayed side choice
+        assert report.instances_run == len(list(feasible_start_pairs(t))) * (
+            len(labelings_for(t))
+        ) * 3  # (0: one side) + (3: two sides)
+
+
+class TestParityLemma:
+    """Lemma 4.4 as a runtime property of the simulator."""
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_parity_invariant(self, seed):
+        rng = random.Random(seed)
+        t = edge_colored_line(2 * rng.randrange(3, 7))
+        agent = random_line_automaton(rng.randrange(2, 6), rng)
+        u = rng.randrange(t.n - 1)
+        v = u + 1 + 2 * rng.randrange((t.n - u - 1) // 2 or 1)
+        v = min(v, t.n - 1)
+        if (v - u) % 2 == 0:
+            v = v - 1 if v - 1 > u else v + 1
+        if not (0 <= v < t.n) or u == v:
+            return
+        out = run_rendezvous(t, agent, u, v, max_rounds=300, record_trace=True)
+        trace = out.trace
+        dist = abs(u - v)  # initial distance (edge-colored line is a path)
+        pos = trace.positions()
+        for k in range(1, len(pos)):
+            moved1 = pos[k][0] != pos[k - 1][0] or trace.records[k - 1].moved1
+            moved2 = pos[k][1] != pos[k - 1][1] or trace.records[k - 1].moved2
+            q1 = 1 - int(trace.records[k - 1].moved1)
+            q2 = 1 - int(trace.records[k - 1].moved2)
+            new_dist = abs(pos[k][0] - pos[k][1])
+            if q1 == q2:  # both moved or both idled: parity preserved
+                assert (new_dist - dist) % 2 == 0
+            else:  # exactly one moved: parity flips
+                assert (new_dist - dist) % 2 == 1
+            dist = new_dist

@@ -1,0 +1,129 @@
+"""Unit tests for the synchronous rendezvous engine."""
+
+import pytest
+
+from repro.agents import STAY, Automaton, LineAutomaton, alternator
+from repro.errors import SimulationError
+from repro.sim import run_rendezvous
+from repro.trees import edge_colored_line, line, star
+
+
+def waiting_agent():
+    """An agent that never moves."""
+    return Automaton(1, {}, [STAY])
+
+
+def port0_walker():
+    """Always exits through port 0: on a line it slides to node 0 and bounces."""
+    return Automaton(1, {}, [0])
+
+
+class TestBasics:
+    def test_same_start_meets_at_round_zero(self):
+        out = run_rendezvous(line(5), waiting_agent(), 2, 2)
+        assert out.met and out.meeting_round == 0 and out.meeting_node == 2
+
+    def test_two_waiters_never_meet_certified(self):
+        out = run_rendezvous(line(5), waiting_agent(), 1, 3, certify=True)
+        assert not out.met
+        assert out.certified_never
+        assert out.rounds_executed < 10
+
+    def test_parallel_walkers_merge(self):
+        # Both copies walk port 0 (toward node 0 on the canonical line);
+        # the leader bounces at node 0 and meets the chaser.
+        out = run_rendezvous(line(6), port0_walker(), 2, 4)
+        assert out.met
+        assert out.meeting_round == 3
+        assert out.meeting_node == 1
+
+    def test_delay_applied_to_agent2(self):
+        # With delay, agent 2 sits still; agent 1 walks onto it.
+        out = run_rendezvous(line(4), port0_walker(), 3, 0, delay=100, delayed=2)
+        assert out.met
+        assert out.meeting_node == 0
+        assert out.meeting_round == 3
+
+    def test_delay_applied_to_agent1(self):
+        out = run_rendezvous(line(4), port0_walker(), 3, 0, delay=100, delayed=1)
+        # agent 2 at node 0 bounces between 0 and 1 (port 0 at node 0 goes
+        # to 1, port 0 at node 1 goes back to 0); agent 1 asleep at 3.
+        # They meet only after agent 1 starts moving toward 0... but agent 2
+        # oscillates on {0,1} and agent 1 stops at... both walk port 0:
+        # agent 1 reaches the 0-1 oscillation region and they meet or swap.
+        assert out.met or out.rounds_executed >= 100
+
+    def test_round_budget_respected(self):
+        out = run_rendezvous(line(9), waiting_agent(), 0, 8, max_rounds=17)
+        assert out.undecided is True
+        assert out.rounds_executed == 17
+
+    def test_crossing_detection(self):
+        # On the 8-node edge-colored line, port 0 from node 2 leads to 3 and
+        # port 0 from node 3 leads to 2: alternators started there swap
+        # along the edge in round 1 (a crossing, not a meeting).
+        t = edge_colored_line(8)
+        out = run_rendezvous(t, alternator(), 2, 3, max_rounds=200, record_trace=True)
+        assert not out.met or out.meeting_round > 1
+        assert out.crossings > 0
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            run_rendezvous(line(3), waiting_agent(), 0, 9)
+        with pytest.raises(SimulationError):
+            run_rendezvous(line(3), waiting_agent(), 0, 1, delay=-1)
+        with pytest.raises(SimulationError):
+            run_rendezvous(line(3), waiting_agent(), 0, 1, delayed=3)
+
+
+class TestTraceRecording:
+    def test_trace_shapes(self):
+        out = run_rendezvous(
+            line(5), port0_walker(), 1, 4, max_rounds=50, record_trace=True
+        )
+        assert out.trace is not None
+        assert out.trace.start1 == 1 and out.trace.start2 == 4
+        assert len(out.trace) == out.rounds_executed
+        first = out.trace.records[0]
+        assert first.pos1 == 0  # walker moved 1 -> 0 in round 1
+
+    def test_idle_counts(self):
+        out = run_rendezvous(
+            line(6), waiting_agent(), 0, 5, max_rounds=10, record_trace=True
+        )
+        q1, q2 = out.trace.idle_counts(10)
+        assert q1 == q2 == 10
+
+    def test_positions_series(self):
+        out = run_rendezvous(
+            line(6), port0_walker(), 2, 5, max_rounds=10, record_trace=True
+        )
+        pos = out.trace.positions()
+        assert pos[0] == (2, 5)
+        # port-0 walker strictly decreases until reaching node 0
+        assert pos[1] == (1, 4)
+
+
+class TestMeetingSemantics:
+    def test_meeting_with_not_yet_started_agent_counts(self):
+        # Agent 2 delayed forever-ish; agent 1 walks onto its start node.
+        out = run_rendezvous(line(3), port0_walker(), 2, 0, delay=1000, delayed=2)
+        assert out.met
+        assert out.meeting_round == 2
+
+    def test_star_center_meeting(self):
+        out = run_rendezvous(star(3), port0_walker(), 1, 2)
+        assert out.met
+        assert out.meeting_node == 0
+        assert out.meeting_round == 1
+
+    def test_swap_is_not_meeting(self):
+        # Two alternators that cross inside an edge do NOT rendezvous.
+        t = edge_colored_line(4)
+        out = run_rendezvous(
+            t, alternator(), 1, 2, max_rounds=64, certify=True, record_trace=True
+        )
+        # whatever happens, any round where they swapped is not a meeting
+        for prev, nxt in zip(out.trace.positions(), out.trace.positions()[1:]):
+            if prev[0] == nxt[1] and prev[1] == nxt[0]:
+                assert nxt[0] != nxt[1]

@@ -1,0 +1,101 @@
+"""Tests for the k-agent gathering extension."""
+
+import random
+
+import pytest
+
+from repro.agents import STAY, Automaton
+from repro.core import classify_gathering, gather
+from repro.errors import SimulationError
+from repro.sim import run_gathering
+from repro.trees import (
+    complete_binary_tree,
+    line,
+    random_relabel,
+    spider,
+    star,
+    subdivide,
+)
+
+
+def waiting_agent():
+    return Automaton(1, {}, [STAY])
+
+
+def port0_walker():
+    return Automaton(1, {}, [0])
+
+
+class TestRunGathering:
+    def test_same_start_trivial(self):
+        out = run_gathering(line(5), waiting_agent(), [2, 2, 2])
+        assert out.gathered and out.gathering_round == 0
+
+    def test_walkers_merge_at_line_end(self):
+        out = run_gathering(line(6), port0_walker(), [2, 4, 5], max_rounds=50)
+        # all slide toward node 0 and bunch up at the 0-1 bounce
+        assert out.largest_cluster >= 2
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            run_gathering(line(4), waiting_agent(), [1])
+        with pytest.raises(SimulationError):
+            run_gathering(line(4), waiting_agent(), [0, 9])
+        with pytest.raises(SimulationError):
+            run_gathering(line(4), waiting_agent(), [0, 1], delays=[1])
+
+    def test_budget(self):
+        out = run_gathering(line(9), waiting_agent(), [0, 4, 8], max_rounds=25)
+        assert not out.gathered
+        assert out.rounds_executed == 25
+        assert out.positions == (0, 4, 8)
+
+
+class TestClassifyGathering:
+    def test_central_node(self):
+        regime = classify_gathering(star(5))
+        assert regime.kind == "central_node" and regime.guaranteed and regime.easy
+
+    def test_symmetric(self):
+        regime = classify_gathering(line(9))
+        assert regime.kind == "symmetric" and not regime.guaranteed
+
+    def test_asymmetric_edge(self):
+        from repro.trees import double_broom
+
+        # two hubs with different bristle counts: T' = hubs + leaves, central
+        # edge between the hubs, halves non-isomorphic => asymmetric
+        t = double_broom(3, 2, 3)
+        regime = classify_gathering(t)
+        assert regime.kind == "central_edge_asymmetric"
+        assert regime.easy
+
+
+class TestGatherAlgorithm:
+    def test_three_agents_star_like(self):
+        rng = random.Random(3)
+        t = random_relabel(spider([2, 3, 4]), rng)
+        outcome, regime = gather(t, [2, 5, 9])
+        assert regime.kind == "central_node"
+        assert outcome.gathered
+
+    def test_four_agents_binary_tree(self):
+        rng = random.Random(5)
+        t = random_relabel(complete_binary_tree(3), rng)
+        outcome, regime = gather(t, [7, 9, 12, 14])
+        assert regime.easy
+        assert outcome.gathered
+
+    def test_delays_in_easy_regime(self):
+        rng = random.Random(7)
+        t = random_relabel(subdivide(spider([2, 2, 3]), 1), rng)
+        outcome, regime = gather(t, [1, 4, 8], delays=[0, 17, 40])
+        assert regime.kind == "central_node"
+        assert outcome.gathered
+
+    def test_symmetric_regime_reports_not_guaranteed(self):
+        t = line(9)
+        outcome, regime = gather(t, [0, 4], max_rounds=200_000)
+        assert regime.kind == "symmetric"
+        # two agents: this is plain rendezvous and should still meet
+        assert outcome.gathered

@@ -1,0 +1,72 @@
+"""Tests for the solo instrumentation runner."""
+
+import pytest
+
+from repro.agents import STAY, Automaton
+from repro.core import rendezvous_agent
+from repro.errors import SimulationError
+from repro.sim import run_solo
+from repro.trees import line, star
+
+
+class TestRunSolo:
+    def test_positions_recorded(self):
+        walker = Automaton(1, {}, [0])
+        run = run_solo(line(5), 3, walker, 3)
+        assert run.positions == [2, 1, 0]
+        assert run.final_position == 0
+        assert run.rounds == 3
+
+    def test_register_events_ordered(self):
+        run = run_solo(line(9), 0, rendezvous_agent(max_outer=1), 10_000)
+        rounds = [ev.round_index for ev in run.register_events]
+        assert rounds == sorted(rounds)
+        assert run.register_events  # the Thm 4.1 agent declares counters
+
+    def test_first_change_and_series(self):
+        run = run_solo(line(9), 0, rendezvous_agent(max_outer=1), 10_000)
+        first = run.first_change("explo_nu")
+        assert first is not None
+        series = run.value_series("explo_nu")
+        assert series[0][0] == first
+        assert run.first_change("no_such_register") is None
+
+    def test_finished_flag(self):
+        # easy case (central node): the agent walks to the hub and returns.
+        run = run_solo(star(4), 1, rendezvous_agent(max_outer=1), 100)
+        assert run.finished
+        assert run.final_position == 0  # waiting at the hub
+
+    def test_automaton_agents_supported(self):
+        bouncer = Automaton(1, {}, [STAY])
+        run = run_solo(line(4), 2, bouncer, 10)
+        assert run.positions == [2] * 10
+        assert run.register_events == []
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            run_solo(line(4), 9, rendezvous_agent(), 10)
+
+    def test_budget_respected(self):
+        run = run_solo(line(21), 0, rendezvous_agent(max_outer=5), 37)
+        assert run.rounds == 37
+        assert not run.finished
+
+
+class TestTradeoff:
+    def test_rows_complete(self):
+        from repro.analysis import reps_factor_tradeoff, stress_instances
+
+        pool = stress_instances(sizes=(7, 9), pairs_per_tree=2)
+        rows = reps_factor_tradeoff(factors=(2, 5), instances=pool)
+        assert len(rows) == 2
+        for row in rows:
+            assert row.success_rate == 1.0
+            assert row.worst_round >= row.mean_round >= 1
+
+    def test_stress_instances_feasible(self):
+        from repro.analysis import stress_instances
+        from repro.trees import perfectly_symmetrizable
+
+        for tree, u, v in stress_instances(sizes=(9,), pairs_per_tree=4):
+            assert not perfectly_symmetrizable(tree, u, v)

@@ -1,0 +1,72 @@
+"""Unit tests for the trace container and errors module."""
+
+import pytest
+
+from repro.agents import STAY, Automaton
+from repro.errors import (
+    AgentProtocolError,
+    ConstructionError,
+    InfeasibleRendezvousError,
+    InvalidLabelingError,
+    InvalidPortError,
+    InvalidTreeError,
+    ReproError,
+    SimulationError,
+)
+from repro.sim import run_rendezvous
+from repro.sim.trace import RoundRecord, Trace
+from repro.trees import line
+
+
+class TestTraceContainer:
+    def test_append_and_len(self):
+        t = Trace(0, 3)
+        t.append(RoundRecord(1, 1, 2, 0, 0))
+        t.append(RoundRecord(2, 2, 2, 0, STAY))
+        assert len(t) == 2
+
+    def test_moved_flags(self):
+        rec = RoundRecord(1, 0, 1, STAY, 1)
+        assert not rec.moved1 and rec.moved2
+
+    def test_positions_includes_start(self):
+        t = Trace(4, 7)
+        t.append(RoundRecord(1, 3, 7, 0, STAY))
+        assert t.positions() == [(4, 7), (3, 7)]
+
+    def test_idle_counts_partial_window(self):
+        t = Trace(0, 1)
+        t.append(RoundRecord(1, 0, 2, STAY, 0))
+        t.append(RoundRecord(2, 1, 2, 0, STAY))
+        t.append(RoundRecord(3, 1, 2, STAY, STAY))
+        assert t.idle_counts(2) == (1, 1)
+        assert t.idle_counts(3) == (2, 2)
+
+    def test_trace_round_trip_from_engine(self):
+        walker = Automaton(1, {}, [0])
+        out = run_rendezvous(line(5), walker, 0, 4, max_rounds=6, record_trace=True)
+        assert out.trace is not None
+        for rec in out.trace.records:
+            assert 0 <= rec.pos1 < 5 and 0 <= rec.pos2 < 5
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (
+            InvalidTreeError,
+            InvalidPortError,
+            InvalidLabelingError,
+            SimulationError,
+            AgentProtocolError,
+            InfeasibleRendezvousError,
+            ConstructionError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_catchable_at_base(self):
+        with pytest.raises(ReproError):
+            raise InvalidPortError("x")
+
+    def test_distinct_branches(self):
+        assert not issubclass(SimulationError, InvalidTreeError)
+        assert not issubclass(AgentProtocolError, SimulationError)

@@ -1,0 +1,28 @@
+"""Run the executable examples embedded in module docstrings.
+
+Keeps the documentation honest: every ``>>>`` block in the public modules
+must actually work.
+"""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.sim.instrument
+import repro.core.rendezvous
+
+MODULES = [
+    repro,
+    repro.sim.instrument,
+    repro.core.rendezvous,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    failures, tried = doctest.testmod(
+        module, verbose=False, optionflags=doctest.ELLIPSIS
+    ).failed, doctest.testmod(module, verbose=False).attempted
+    assert tried > 0, f"{module.__name__} has no doctests (update MODULES)"
+    assert failures == 0

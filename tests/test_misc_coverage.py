@@ -1,0 +1,109 @@
+"""Coverage for small public surfaces not exercised elsewhere."""
+
+import random
+
+from repro.agents import STAY, Automaton, resolve_action
+from repro.analysis import thm42_size_vs_bits
+from repro.lowerbounds.common import bounded_agent_placement
+from repro.sim import run_solo
+from repro.trees import find_center, line, perfectly_symmetrizable
+
+
+class TestResolveAction:
+    def test_stay_passthrough(self):
+        assert resolve_action(STAY, 3) == STAY
+
+    def test_mod_rule(self):
+        assert resolve_action(7, 3) == 1
+        assert resolve_action(3, 3) == 0
+        assert resolve_action(0, 1) == 0
+
+    def test_degree_zero_forces_stay(self):
+        assert resolve_action(5, 0) == STAY
+
+
+class TestBoundedPlacement:
+    def test_geometry(self):
+        for radius in (0, 1, 4, 9):
+            p = bounded_agent_placement(radius)
+            assert p.tree.n == 4 * radius + 7
+            assert p.tree.n % 2 == 1  # central node => all pairs feasible
+            assert find_center(p.tree).is_node
+            assert not perfectly_symmetrizable(p.tree, p.start1, p.start2)
+            # ranges [start ± radius] disjoint and interior
+            assert p.start1 - radius >= 1
+            assert p.start2 + radius <= p.tree.n - 2
+            assert p.start1 + radius < p.start2 - radius
+
+    def test_line_edges_property(self):
+        p = bounded_agent_placement(2)
+        assert p.line_edges == p.tree.num_edges
+
+
+class TestThm42Sweep:
+    def test_rows_shape(self):
+        rows = thm42_size_vs_bits(seed=3, states=(2, 3))
+        assert rows
+        for bits, edges, kind, gamma in rows:
+            assert bits >= 1 and edges >= 3 and gamma >= 1
+            assert kind in ("drifting", "bounded")
+
+    def test_explicit_agents(self):
+        from repro.agents import alternator
+
+        rows = thm42_size_vs_bits(agents=[alternator()])
+        assert len(rows) == 1
+        assert rows[0][2] == "drifting"
+
+
+class TestRunSoloOptions:
+    def test_without_register_recording(self):
+        from repro.core import rendezvous_agent
+
+        run = run_solo(
+            line(7), 0, rendezvous_agent(max_outer=1), 500,
+            record_registers=False,
+        )
+        assert run.register_events == []
+        assert run.rounds > 0
+
+
+class TestGatheringWithAutomata:
+    def test_finite_state_agents_gather_too(self):
+        from repro.sim import run_gathering
+
+        walker = Automaton(1, {}, [0])
+        out = run_gathering(line(5), walker, [2, 3, 4], max_rounds=60)
+        # all three slide to the 0-1 bounce; they merge pairwise at least
+        assert out.largest_cluster >= 2
+
+
+class TestSeriesHelpers:
+    def test_rows_and_table(self):
+        from repro.analysis import Series
+
+        s = Series("x", (1.0, 2.0, 4.0), (3.0, 5.0, 9.0))
+        assert s.rows() == [(1.0, 3.0), (2.0, 5.0), (4.0, 9.0)]
+        table = s.table("in", "out")
+        assert table.splitlines()[0].strip().startswith("in")
+
+
+class TestAgentLibraryEdges:
+    def test_pausing_walker_zero_pause(self):
+        from repro.agents import pausing_walker
+        from repro.lowerbounds import simulate_infinite_line
+
+        agent = pausing_walker(0)  # never idles: plain alternation
+        run = simulate_infinite_line(agent, 20)
+        assert len(run.leave_events) == 20
+
+    def test_random_tree_automaton_determinism(self):
+        from repro.agents import random_tree_automaton
+
+        a = random_tree_automaton(4, rng=random.Random(9))
+        b = random_tree_automaton(4, rng=random.Random(9))
+        assert a.output == b.output
+        for s in range(4):
+            for i in (-1, 0, 1, 2):
+                for d in (1, 2, 3):
+                    assert a.transition(s, i, d) == b.transition(s, i, d)

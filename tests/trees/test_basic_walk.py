@@ -1,0 +1,187 @@
+"""Unit + property tests for basic walks, counter walks, reconstruction."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trees import (
+    TranscriptReconstructor,
+    all_trees,
+    basic_walk,
+    basic_walk_first_hit,
+    basic_walk_until_branching,
+    canonical_form,
+    complete_binary_tree,
+    counter_basic_walk,
+    counter_basic_walk_until_branching,
+    line,
+    random_relabel,
+    random_tree,
+    star,
+    subdivide,
+)
+
+
+def _random_tree_and_start(seed):
+    rng = random.Random(seed)
+    t = random_relabel(random_tree(rng.randrange(2, 40), rng), rng)
+    return t, rng.randrange(t.n)
+
+
+class TestBasicWalk:
+    def test_closes_after_2n_minus_2(self):
+        for t in all_trees(7):
+            for v in range(t.n):
+                walk = basic_walk(t, v)
+                assert len(walk) == 2 * (t.n - 1)
+                assert walk[-1].to_node == v
+
+    def test_traverses_every_edge_twice(self):
+        t = complete_binary_tree(3)
+        walk = basic_walk(t, 5)
+        traversed = {}
+        for s in walk:
+            traversed[(s.from_node, s.to_node)] = traversed.get(
+                (s.from_node, s.to_node), 0
+            ) + 1
+        assert all(c == 1 for c in traversed.values())
+        assert len(traversed) == 2 * t.num_edges
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_closure_property(self, seed):
+        t, v = _random_tree_and_start(seed)
+        walk = basic_walk(t, v)
+        assert walk[-1].to_node == v
+        # never returns to start with all edges covered before the end
+        covered = set()
+        for i, s in enumerate(walk[:-1]):
+            covered.add(frozenset((s.from_node, s.to_node)))
+            if s.to_node == v:
+                assert len(covered) < t.num_edges or i == len(walk) - 1
+
+    def test_degree2_pass_through(self):
+        """At degree-2 nodes the basic walk passes straight through."""
+        t = subdivide(star(3), 3)
+        for s_prev, s_next in zip(basic_walk(t, 0), basic_walk(t, 0)[1:]):
+            if t.degree(s_prev.to_node) == 2:
+                assert s_next.out_port == 1 - s_prev.in_port
+
+    def test_counter_walk_reverses(self):
+        """cbw from the end of a bw, entering by the last in-port, undoes it."""
+        for seed in range(10):
+            t, v = _random_tree_and_start(seed)
+            steps = 2 * (t.n - 1)
+            fwd = basic_walk(t, v, steps)
+            last = fwd[-1]
+            back = counter_basic_walk(t, last.to_node, last.in_port, steps)
+            fwd_nodes = [s.from_node for s in fwd]
+            back_nodes = [s.to_node for s in back]
+            assert back_nodes == fwd_nodes[::-1]
+
+    def test_start_port_offset(self):
+        t = star(3)
+        walk = basic_walk(t, 0, 2, start_port=1)
+        assert walk[0].to_node == t.neighbors(0)[1]
+
+
+class TestBranchingBoundedWalks:
+    def test_bw_counts_branching_arrivals(self):
+        t = subdivide(star(3), 2)  # center deg 3, leaves deg 1, rest deg 2
+        walk = basic_walk_until_branching(t, 0, 2)
+        branch_arrivals = [s for s in walk if t.degree(s.to_node) != 2]
+        assert len(branch_arrivals) == 2
+        assert t.degree(walk[-1].to_node) != 2
+
+    def test_bw_full_tour_of_contraction(self):
+        from repro.trees import contract
+
+        t = subdivide(complete_binary_tree(2), 1)
+        c = contract(t)
+        nu = c.nu
+        start = 3  # a leaf of the binary tree: degree != 2, lives in T'
+        assert t.degree(start) != 2
+        walk = basic_walk_until_branching(t, start, 2 * (nu - 1))
+        assert walk[-1].to_node == start  # closed tour of T'
+
+    def test_cbw_reverses_bw(self):
+        # The reversal property is anchored at branching nodes (the paper
+        # only ever issues bw(j)/cbw(j) from extremities of the central
+        # path, which have degree != 2); start from a leaf.
+        t = subdivide(complete_binary_tree(2), 2)
+        start = 3
+        assert t.degree(start) != 2
+        j = 4
+        fwd = basic_walk_until_branching(t, start, j)
+        last = fwd[-1]
+        back = counter_basic_walk_until_branching(t, last.to_node, last.in_port, j)
+        assert back[-1].to_node == start
+
+    def test_zero_count(self):
+        t = line(5)
+        assert basic_walk_until_branching(t, 0, 0) == []
+
+
+class TestFirstHit:
+    def test_line(self):
+        t = line(5)
+        assert basic_walk_first_hit(t, 0, 3) == 3
+        assert basic_walk_first_hit(t, 2, 2) == 0
+
+    def test_every_node_hit(self):
+        for t in all_trees(6):
+            for v in range(t.n):
+                for w in range(t.n):
+                    k = basic_walk_first_hit(t, v, w)
+                    assert k is not None
+                    assert 0 <= k <= 2 * (t.n - 1)
+
+
+class TestReconstruction:
+    def _reconstruct(self, t, v):
+        rec = TranscriptReconstructor(t.degree(v))
+        node = v
+        port = 0
+        while not rec.closed:
+            nxt, in_port = t.move(node, port)
+            rec.feed(port, in_port, t.degree(nxt))
+            node = nxt
+            port = (in_port + 1) % t.degree(node)
+        return rec
+
+    def test_round_trip_small(self):
+        for t in all_trees(6):
+            for v in range(t.n):
+                rec = self._reconstruct(t, v)
+                assert rec.steps == 2 * (t.n - 1)
+                assert rec.num_nodes == t.n
+                rebuilt = rec.tree()
+                assert canonical_form(rebuilt) == canonical_form(t)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_round_trip_random(self, seed):
+        t, v = _random_tree_and_start(seed)
+        rec = self._reconstruct(t, v)
+        assert rec.num_nodes == t.n
+        # the reconstructed tree is exactly isomorphic including ports:
+        # walking it from node 0 must produce the identical port transcript.
+        rebuilt = rec.tree()
+        orig = [(s.out_port, s.in_port) for s in basic_walk(t, v)]
+        new = [(s.out_port, s.in_port) for s in basic_walk(rebuilt, 0)]
+        assert orig == new
+
+    def test_closure_not_early(self):
+        t = line(6)
+        rec = TranscriptReconstructor(t.degree(2))
+        node, port = 2, 0
+        closed_at = []
+        for step in range(2 * (t.n - 1)):
+            nxt, in_port = t.move(node, port)
+            rec.feed(port, in_port, t.degree(nxt))
+            if rec.closed:
+                closed_at.append(step + 1)
+            node = nxt
+            port = (in_port + 1) % t.degree(node)
+        assert closed_at == [2 * (t.n - 1)]

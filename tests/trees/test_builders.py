@@ -1,0 +1,185 @@
+"""Unit tests for tree family builders."""
+
+import random
+
+import pytest
+
+from repro.errors import InvalidTreeError
+from repro.trees import (
+    all_trees,
+    binomial_tree,
+    broom,
+    caterpillar,
+    complete_binary_tree,
+    double_broom,
+    double_star,
+    line,
+    random_bounded_degree_tree,
+    random_tree,
+    spider,
+    star,
+    subdivide,
+)
+
+
+class TestDeterministicFamilies:
+    def test_line(self):
+        t = line(5)
+        assert t.n == 5
+        assert t.num_leaves == 2
+        assert t.diameter() == 4
+
+    def test_line_minimum(self):
+        assert line(1).n == 1
+        with pytest.raises(InvalidTreeError):
+            line(0)
+
+    def test_star(self):
+        t = star(6)
+        assert t.n == 7
+        assert t.num_leaves == 6
+
+    def test_spider(self):
+        t = spider([2, 3, 1])
+        assert t.n == 7
+        assert t.num_leaves == 3
+        assert t.degree(0) == 3
+        assert t.eccentricity(0) == 3
+
+    def test_spider_rejects_empty_leg(self):
+        with pytest.raises(InvalidTreeError):
+            spider([2, 0])
+
+    def test_caterpillar(self):
+        t = caterpillar(4, [1, 0, 2, 1])
+        assert t.n == 8
+        # Spine ends carry hairs here, so the only leaves are the 4 hairs.
+        assert t.num_leaves == 4
+        assert t.max_degree() == 4  # node 2: two spine edges + two hairs
+
+    def test_broom(self):
+        t = broom(3, 4)
+        assert t.n == 8
+        assert t.num_leaves == 5  # 4 bristles + handle end
+        assert t.degree(3) == 5
+
+    def test_double_broom(self):
+        t = double_broom(4, 3, 3)
+        assert t.n == 11
+        assert t.num_leaves == 6
+        assert t.degree(0) == 4
+        assert t.degree(4) == 4
+
+    def test_complete_binary_tree(self):
+        t = complete_binary_tree(3)
+        assert t.n == 15
+        assert t.num_leaves == 8
+        assert t.degree(0) == 2
+        assert t.max_degree() == 3
+
+    def test_complete_binary_tree_height_zero(self):
+        assert complete_binary_tree(0).n == 1
+
+    def test_binomial_tree(self):
+        for k in range(5):
+            t = binomial_tree(k)
+            assert t.n == 2**k
+        t = binomial_tree(3)
+        assert t.degree(0) == 3  # root of B_3 has degree 3
+
+    def test_double_star(self):
+        t = double_star(4)
+        assert t.n == 9
+        assert t.degree(0) == 4
+        assert t.degree(2) == 4
+        assert t.degree(1) == 2
+
+    def test_subdivide(self):
+        t = star(3)
+        t2 = subdivide(t, 2)
+        assert t2.n == 4 + 3 * 2
+        assert t2.num_leaves == 3  # leaf count preserved
+        assert subdivide(t, 0) is t
+
+
+class TestRandomFamilies:
+    def test_random_tree_sizes(self):
+        rng = random.Random(7)
+        for n in [1, 2, 3, 10, 50]:
+            t = random_tree(n, rng)
+            assert t.n == n
+
+    def test_random_tree_distribution_touches_both_extremes(self):
+        rng = random.Random(3)
+        shapes = set()
+        for _ in range(60):
+            t = random_tree(5, rng)
+            shapes.add(t.num_leaves)
+        assert 2 in shapes  # a path shows up
+        assert 4 in shapes  # a star shows up
+
+    def test_random_bounded_degree(self):
+        rng = random.Random(11)
+        for _ in range(20):
+            t = random_bounded_degree_tree(40, 3, rng)
+            assert t.n == 40
+            assert t.max_degree() <= 3
+
+    def test_bounded_degree_rejects_impossible(self):
+        with pytest.raises(InvalidTreeError):
+            random_bounded_degree_tree(5, 1)
+
+
+class TestExhaustiveEnumeration:
+    def test_counts_match_oeis(self):
+        # Number of non-isomorphic trees on n nodes: 1, 1, 1, 2, 3, 6, 11, 23
+        expected = {1: 1, 2: 1, 3: 1, 4: 2, 5: 3, 6: 6, 7: 11, 8: 23}
+        for n, count in expected.items():
+            assert len(all_trees(n)) == count
+
+    def test_all_valid(self):
+        for t in all_trees(7):
+            assert t.n == 7
+
+
+class TestExtendedFamilies:
+    def test_complete_kary_tree(self):
+        import pytest
+        from repro.trees import complete_kary_tree
+
+        t = complete_kary_tree(3, 2)
+        assert t.n == 13
+        assert t.num_leaves == 9
+        assert t.degree(0) == 3
+        assert t.max_degree() == 4
+        assert complete_kary_tree(2, 0).n == 1
+        with pytest.raises(InvalidTreeError):
+            complete_kary_tree(1, 3)
+        with pytest.raises(InvalidTreeError):
+            complete_kary_tree(2, -1)
+
+    def test_lobster(self):
+        import pytest
+        from repro.trees import lobster
+
+        t = lobster(4, [1, 0, 2, 1], [2, 0, 1, 0])
+        assert t.n == 4 + 4 + 4  # spine + arms + legs (2 + 2*1 legs)
+        assert t.num_leaves == 5
+        with pytest.raises(InvalidTreeError):
+            lobster(3, [1, 1], [0, 0])
+        with pytest.raises(InvalidTreeError):
+            lobster(2, [1, -1], [0, 0])
+
+    def test_lobster_feasibility_and_solve(self):
+        from repro.core import solve
+        from repro.trees import lobster, perfectly_symmetrizable
+
+        t = lobster(5, [1, 1, 0, 1, 1], [1, 0, 0, 0, 1])
+        pairs = [
+            (u, v)
+            for u in range(t.n)
+            for v in range(u + 1, t.n)
+            if not perfectly_symmetrizable(t, u, v)
+        ]
+        for u, v in pairs[:5]:
+            assert solve(t, u, v, max_outer=8).met

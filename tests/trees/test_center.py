@@ -1,0 +1,63 @@
+"""Unit tests for central node / central edge computation."""
+
+from repro.trees import (
+    all_trees,
+    complete_binary_tree,
+    find_center,
+    line,
+    spider,
+    star,
+)
+
+
+class TestCenterBasics:
+    def test_single_node(self):
+        c = find_center(line(1))
+        assert c.is_node and c.node == 0
+
+    def test_two_nodes(self):
+        c = find_center(line(2))
+        assert c.is_edge and c.edge == (0, 1)
+
+    def test_odd_line_has_central_node(self):
+        c = find_center(line(7))
+        assert c.is_node and c.node == 3
+
+    def test_even_line_has_central_edge(self):
+        c = find_center(line(8))
+        assert c.is_edge and c.edge == (3, 4)
+
+    def test_star(self):
+        c = find_center(star(5))
+        assert c.is_node and c.node == 0
+
+    def test_complete_binary_tree_root_is_center(self):
+        c = find_center(complete_binary_tree(4))
+        assert c.is_node and c.node == 0
+
+    def test_spider_center(self):
+        c = find_center(spider([3, 3, 1]))
+        # center sits on the path between the two long legs
+        assert c.is_node
+
+    def test_layers_peak_at_center(self):
+        t = line(9)
+        c = find_center(t)
+        assert c.layers[c.node] == max(c.layers)
+        assert c.layers[0] == 0 and c.layers[8] == 0
+
+
+class TestCenterAgainstEccentricity:
+    """The leaf-stripping center equals the metric center of the tree."""
+
+    def _metric_centers(self, t):
+        eccs = [t.eccentricity(u) for u in range(t.n)]
+        best = min(eccs)
+        return {u for u, e in enumerate(eccs) if e == best}
+
+    def test_exhaustive_small_trees(self):
+        for n in range(2, 9):
+            for t in all_trees(n):
+                c = find_center(t)
+                centers = {c.node} if c.is_node else set(c.edge)
+                assert centers == self._metric_centers(t), t.debug_string()

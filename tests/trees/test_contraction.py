@@ -1,0 +1,95 @@
+"""Unit tests for the contraction T' (degree-2 suppression)."""
+
+import random
+
+import pytest
+
+from repro.trees import (
+    all_trees,
+    complete_binary_tree,
+    contract,
+    line,
+    random_tree,
+    spider,
+    star,
+    subdivide,
+)
+
+
+class TestContractionBasics:
+    def test_line_contracts_to_edge(self):
+        c = contract(line(10))
+        assert c.nu == 2
+        assert c.to_original == (0, 9)
+        assert c.path_length(0, 0) == 9
+        assert c.degree2_nodes_on(0, 0) == tuple(range(1, 9))
+
+    def test_single_node(self):
+        c = contract(line(1))
+        assert c.nu == 1
+
+    def test_two_nodes(self):
+        c = contract(line(2))
+        assert c.nu == 2
+        assert c.contracted.num_edges == 1
+
+    def test_no_degree2_is_identity_shape(self):
+        t = star(4)
+        c = contract(t)
+        assert c.nu == t.n
+        assert c.contracted.degrees() == t.degrees()
+
+    def test_subdivision_has_same_contraction_shape(self):
+        t = complete_binary_tree(3)
+        base = contract(t)
+        fat = contract(subdivide(t, 3))
+        assert fat.nu == base.nu
+        assert sorted(fat.contracted.degrees()) == sorted(base.contracted.degrees())
+
+    def test_ports_inherited_at_branching_nodes(self):
+        t = subdivide(spider([2, 2, 2]), 1)
+        c = contract(t)
+        i = c.from_original[0]  # the spider center
+        assert c.contracted.degree(i) == 3
+        # every contracted edge from the center goes to a leaf of the spider
+        for p in range(3):
+            path = c.paths[(i, p)]
+            assert path[0] == 0
+            assert t.degree(path[-1]) == 1
+
+    def test_leaf_bound_nu_le_2l_minus_1(self):
+        rng = random.Random(5)
+        for _ in range(40):
+            t = random_tree(rng.randrange(2, 60), rng)
+            c = contract(t)
+            assert c.nu <= 2 * t.num_leaves - 1
+
+    def test_exhaustive_small(self):
+        for n in range(2, 9):
+            for t in all_trees(n):
+                c = contract(t)
+                # node set of T' == nodes of degree != 2
+                expected = [u for u in range(t.n) if t.degree(u) != 2]
+                assert list(c.to_original) == expected
+                # every contracted path's interior is all degree-2
+                for (a, p), path in c.paths.items():
+                    for w in path[1:-1]:
+                        assert t.degree(w) == 2
+                    assert c.to_original[a] == path[0]
+
+    def test_path_symmetry(self):
+        """The path behind edge (a,p) reversed is the path behind its twin."""
+        t = subdivide(star(3), 2)
+        c = contract(t)
+        for (a, p), path in c.paths.items():
+            b = c.contracted.move(a, p)[0]
+            q = c.contracted.move(a, p)[1]
+            assert c.paths[(b, q)] == tuple(reversed(path))
+
+
+class TestContractionErrors:
+    def test_every_tree_contracts(self):
+        # No valid tree can fail (a tree always has leaves), so contract is total.
+        for n in range(1, 8):
+            for t in all_trees(n):
+                contract(t)

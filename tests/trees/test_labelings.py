@@ -1,0 +1,95 @@
+"""Unit tests for port-labeling generators."""
+
+import random
+
+import pytest
+
+from repro.errors import InvalidLabelingError
+from repro.trees import (
+    all_labelings,
+    count_labelings,
+    edge_colored_line,
+    line,
+    random_relabel,
+    star,
+    thm31_line_labeling,
+)
+
+
+class TestRandomRelabel:
+    def test_preserves_topology(self):
+        rng = random.Random(1)
+        t = star(4)
+        t2 = random_relabel(t, rng)
+        assert t2.n == t.n
+        assert sorted(t2.degrees()) == sorted(t.degrees())
+        assert set(t2.neighbors(0)) == set(t.neighbors(0))
+
+    def test_changes_something_eventually(self):
+        rng = random.Random(1)
+        t = star(4)
+        assert any(random_relabel(t, rng) != t for _ in range(20))
+
+
+class TestAllLabelings:
+    def test_count_formula(self):
+        t = star(3)
+        assert count_labelings(t) == 6  # 3! at the center, 1! at leaves
+        assert len(list(all_labelings(t))) == 6
+
+    def test_all_distinct(self):
+        t = line(4)
+        labs = list(all_labelings(t))
+        assert count_labelings(t) == 4  # 2! * 2! at the two interior nodes
+        assert len(set(labs)) == len(labs) == 4
+
+    def test_limit(self):
+        t = star(3)
+        assert len(list(all_labelings(t, limit=2))) == 2
+
+
+class TestEdgeColoredLine:
+    def test_valid_and_proper(self):
+        t = edge_colored_line(9)
+        # interior nodes have ports {0,1}; edge colors agree on both sides
+        for i in range(1, 8):
+            assert sorted(
+                [t.port(i, i - 1), t.port(i, i + 1)]
+            ) == [0, 1]
+        for i in range(1, 7):
+            # both interior extremities of edge {i, i+1} carry the same color
+            assert t.port(i, i + 1) == t.port(i + 1, i)
+
+    def test_first_color(self):
+        t0 = edge_colored_line(6, first_color=0)
+        t1 = edge_colored_line(6, first_color=1)
+        assert t0.port(1, 2) != t1.port(1, 2)
+
+    def test_rejects_small(self):
+        with pytest.raises(InvalidLabelingError):
+            edge_colored_line(1)
+
+
+class TestThm31Labeling:
+    def test_central_edge_gets_zero(self):
+        t = thm31_line_labeling(10)  # 9 edges, central edge index 4 = (4,5)
+        assert t.port(4, 5) == 0
+        assert t.port(5, 4) == 0
+
+    def test_coloring_proper_everywhere(self):
+        t = thm31_line_labeling(12)
+        for i in range(1, 11):
+            assert sorted([t.port(i, i - 1), t.port(i, i + 1)]) == [0, 1]
+
+    def test_mirror_symmetric_labeling(self):
+        """The construction makes the line symmetric around its center."""
+        from repro.trees import port_preserving_automorphism
+
+        t = thm31_line_labeling(10)
+        f = port_preserving_automorphism(t)
+        assert f is not None
+        assert f[0] == 9
+
+    def test_rejects_odd_node_count(self):
+        with pytest.raises(InvalidLabelingError):
+            thm31_line_labeling(9)

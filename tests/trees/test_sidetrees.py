@@ -1,0 +1,112 @@
+"""Tests for the Theorem 4.3 side-tree substrate."""
+
+import pytest
+
+from repro.errors import ConstructionError
+from repro.trees import canonical_form, find_center, perfectly_symmetrizable
+from repro.trees.sidetrees import (
+    all_side_trees,
+    num_side_trees,
+    root_edge_color,
+    side_tree,
+    two_sided_tree,
+)
+
+
+class TestSideTrees:
+    def test_count(self):
+        for i in (2, 3, 4, 5, 6):
+            assert len(all_side_trees(i)) == num_side_trees(i) == 2 ** (i - 1)
+
+    def test_pairwise_nonisomorphic(self):
+        """The paper needs 2^(i-1) pairwise non-isomorphic *rooted* trees;
+        rooted codes must be all distinct."""
+        from repro.trees import rooted_code
+        from repro.trees.automorphism import CodeInterner
+
+        interner = CodeInterner()
+        codes = set()
+        for st in all_side_trees(5):
+            codes.add(rooted_code(st.tree, 0, interner=interner))
+        assert len(codes) == num_side_trees(5)
+
+    def test_structure(self):
+        for st in all_side_trees(4):
+            t = st.tree
+            assert t.max_degree() <= 3
+            assert t.degree(0) == 1  # standalone root is a path endpoint
+            # leaves: i - 1 hairs + the far path end + the standalone root
+            assert t.num_leaves == 4 + 1
+            # size: spine (i+1) + hairs (1 or 2 each)
+            assert t.n == 5 + sum(1 + c for c in st.choices)
+
+    def test_validation(self):
+        with pytest.raises(ConstructionError):
+            side_tree(1, ())
+        with pytest.raises(ConstructionError):
+            side_tree(4, (0, 1))  # wrong number of choices
+        with pytest.raises(ConstructionError):
+            side_tree(4, (0, 1, 0), root_port_up=2)
+
+    def test_root_edge_color(self):
+        assert root_edge_color(4) == 0
+        assert root_edge_color(2) == 1
+        assert root_edge_color(6) == 1
+        assert root_edge_color(8) == 0
+        with pytest.raises(ConstructionError):
+            root_edge_color(3)
+
+
+class TestTwoSidedTrees:
+    def test_shape(self):
+        sides = all_side_trees(4, root_port_up=root_edge_color(4))
+        ts = two_sided_tree(sides[0], sides[7], 4)
+        t = ts.tree
+        assert t.num_leaves == 8  # ℓ = 2i
+        assert t.max_degree() <= 3
+        assert t.degree(ts.u) == 2 and t.degree(ts.v) == 2
+        assert t.degree(ts.root1) == 2 and t.degree(ts.root2) == 2
+
+    def test_mirror_instance_center_is_joining_middle_edge(self):
+        """When the two sides are equal the tree is mirror-symmetric and
+        its center is the middle edge of the joining path (the paper's
+        symmetry argument hinges on this)."""
+        sides = all_side_trees(4, root_port_up=0)
+        ts = two_sided_tree(sides[6], sides[6], 4)
+        c = find_center(ts.tree)
+        assert c.is_edge
+        join_nodes = set(range(2 * sides[6].size, ts.tree.n))
+        assert set(c.edge) <= join_nodes
+
+    def test_same_sides_symmetric_different_sides_not(self):
+        sides = all_side_trees(4, root_port_up=root_edge_color(4))
+        same = two_sided_tree(sides[3], sides[3], 4)
+        assert perfectly_symmetrizable(same.tree, same.u, same.v)
+        diff = two_sided_tree(sides[3], sides[4], 4)
+        assert not perfectly_symmetrizable(diff.tree, diff.u, diff.v)
+
+    def test_joining_edge_labels_mirror(self):
+        """The joining path labeling is mirror-symmetric: edge colors at
+        equal distances from the central edge match."""
+        sides = all_side_trees(4, root_port_up=root_edge_color(4))
+        ts = two_sided_tree(sides[2], sides[5], 4)
+        t = ts.tree
+        chain = [ts.root1] + list(range(sides[2].size + sides[5].size, t.n)) + [ts.root2]
+        # interior joining edges: same label at both extremities
+        for a, b in zip(chain[1:-2], chain[2:-1]):
+            assert t.port(a, b) == t.port(b, a)
+
+    def test_m_validation(self):
+        sides = all_side_trees(4)
+        with pytest.raises(ConstructionError):
+            two_sided_tree(sides[0], sides[1], 3)
+        with pytest.raises(ConstructionError):
+            two_sided_tree(sides[0], sides[1], 0)
+
+    def test_varying_m(self):
+        sides = all_side_trees(4, root_port_up=root_edge_color(8))
+        for m in (2, 4, 6, 8):
+            sides_m = all_side_trees(4, root_port_up=root_edge_color(m))
+            ts = two_sided_tree(sides_m[0], sides_m[3], m)
+            assert ts.tree.n == sides_m[0].size + sides_m[3].size + m
+            assert ts.tree.num_leaves == 8

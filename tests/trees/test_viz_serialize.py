@@ -1,0 +1,104 @@
+"""Tests for visualization and serialization helpers."""
+
+import json
+import random
+
+import pytest
+
+from repro.errors import InvalidTreeError
+from repro.trees import (
+    Instance,
+    ascii_tree,
+    annotate_instance,
+    complete_binary_tree,
+    instance_from_json,
+    instance_to_json,
+    line,
+    random_relabel,
+    random_tree,
+    star,
+    to_dot,
+    tree_from_json,
+    tree_to_json,
+)
+
+
+class TestAsciiTree:
+    def test_contains_all_nodes(self):
+        t = complete_binary_tree(2)
+        art = ascii_tree(t)
+        for v in range(t.n):
+            assert f"({v})" in art
+
+    def test_port_annotations(self):
+        t = star(3)
+        art = ascii_tree(t, root=0)
+        assert "[0/0]" in art
+
+    def test_marks(self):
+        t = line(5)
+        art = ascii_tree(t, marks={0: "agent 1", 4: "agent 2"})
+        assert "<agent 1>" in art and "<agent 2>" in art
+
+    def test_annotate_instance(self):
+        art = annotate_instance(line(4), 0, 3)
+        assert "agent 1" in art and "agent 2" in art
+
+    def test_deep_path_no_recursion_error(self):
+        art = ascii_tree(line(3000), root=0)
+        assert art.count("\n") == 2999
+
+
+class TestDot:
+    def test_dot_shape(self):
+        t = star(3)
+        dot = to_dot(t, marks={1: "A"})
+        assert dot.startswith("graph tree {")
+        assert dot.count(" -- ") == t.num_edges
+        assert 'taillabel="0"' in dot
+        assert "lightblue" in dot
+
+
+class TestTreeJson:
+    def test_round_trip_preserves_everything(self):
+        rng = random.Random(2)
+        for _ in range(15):
+            t = random_relabel(random_tree(rng.randrange(2, 30), rng), rng)
+            assert tree_from_json(tree_to_json(t)) == t
+
+    def test_rejects_unknown_schema(self):
+        with pytest.raises(InvalidTreeError):
+            tree_from_json(json.dumps({"schema": "nope", "n": 1, "port_to_nbr": [[]]}))
+
+    def test_rejects_inconsistent_count(self):
+        payload = json.loads(tree_to_json(line(3)))
+        payload["n"] = 5
+        with pytest.raises(InvalidTreeError):
+            tree_from_json(json.dumps(payload))
+
+    def test_rejects_invalid_structure(self):
+        payload = {"schema": "repro.tree.v1", "n": 2, "port_to_nbr": [[1], []]}
+        with pytest.raises(InvalidTreeError):
+            tree_from_json(json.dumps(payload))
+
+
+class TestInstanceJson:
+    def test_round_trip(self):
+        inst = Instance(line(8), 1, 6, delay=5, delayed=1, note="thm 3.1 demo")
+        back = instance_from_json(instance_to_json(inst, indent=2))
+        assert back.tree == inst.tree
+        assert (back.start1, back.start2, back.delay, back.delayed) == (1, 6, 5, 1)
+        assert back.note == "thm 3.1 demo"
+
+    def test_validation(self):
+        with pytest.raises(InvalidTreeError):
+            Instance(line(3), 0, 9).validate()
+        with pytest.raises(InvalidTreeError):
+            Instance(line(3), 0, 1, delay=-1).validate()
+        with pytest.raises(InvalidTreeError):
+            instance_from_json(json.dumps({"schema": "bad"}))
+
+    def test_defaults(self):
+        inst = Instance(line(4), 0, 2)
+        back = instance_from_json(instance_to_json(inst))
+        assert back.delay == 0 and back.delayed == 2 and back.note == ""
