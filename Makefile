@@ -1,0 +1,14 @@
+PY := PYTHONPATH=src python
+
+.PHONY: test bench-smoke bench-engine
+
+test:
+	$(PY) -m pytest -x -q
+
+# Quick engine-backend benchmark: refreshes BENCH_engine.json in seconds.
+bench-smoke:
+	$(PY) benchmarks/bench_engine.py --quick
+
+# Full-size engine-backend benchmark (the numbers quoted in the README).
+bench-engine:
+	$(PY) benchmarks/bench_engine.py

@@ -8,9 +8,11 @@ of pytest's capture settings.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+REPO_ROOT = pathlib.Path(__file__).parent.parent
 
 
 def record(name: str, text: str) -> None:
@@ -19,3 +21,18 @@ def record(name: str, text: str) -> None:
     banner = f"==== {name} ===="
     print(f"\n{banner}\n{text}\n")
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def record_json(name: str, payload: dict, directory: pathlib.Path | None = None) -> pathlib.Path:
+    """Persist a machine-readable result to <directory>/<name>.json.
+
+    Defaults to the repo root (rather than benchmarks/results/) so the
+    perf trajectory is versioned alongside the code and future PRs can
+    diff it; callers that must not dirty the working tree (the tier-1
+    smoke test) pass their own directory.
+    """
+    path = (directory or REPO_ROOT) / f"{name}.json"
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    print(f"\n==== {name} ====\n{text}\n")
+    path.write_text(text + "\n")
+    return path

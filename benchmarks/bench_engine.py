@@ -1,0 +1,114 @@
+"""E-engine — the two simulation backends and the all-delays batch solver.
+
+Measures, on fixed deterministic instances:
+
+1. *Throughput*: rounds/second of the reference engine vs the compiled
+   table-driven backend on one long finite-state run.
+2. *Delay sweep*: wall time of a per-delay reference-engine sweep
+   (θ = 0..Θ, both delayed-agent choices, certified) vs one
+   :func:`repro.sim.solve_all_delays` pass over the product configuration
+   graph — the headline optimisation: the batch solver shares every joint
+   configuration's fate across all delays.
+
+Results go to ``BENCH_engine.json`` at the repo root (via
+``_util.record_json``) so successive PRs accumulate a perf trajectory.
+Run directly (``python benchmarks/bench_engine.py [--quick]``), via
+``make bench-smoke``, or through pytest-benchmark like the other
+benchmarks.  The tier-1 suite exercises the quick mode through
+``tests/sim/test_bench_smoke.py``.
+"""
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))  # for import under pytest/importlib
+
+from _util import record_json
+
+from repro.agents import counting_walker, pausing_walker
+from repro.sim import run_rendezvous, run_rendezvous_compiled, solve_all_delays
+from repro.trees import edge_colored_line
+
+
+def _throughput(quick: bool) -> dict:
+    tree = edge_colored_line(33 if quick else 65)
+    agent = counting_walker(3 if quick else 5)
+    u, v = 1, tree.n - 2
+    budget = 60_000 if quick else 400_000
+
+    t0 = time.perf_counter()
+    ref = run_rendezvous(tree, agent, u, v, max_rounds=budget)
+    t1 = time.perf_counter()
+    cmp_ = run_rendezvous_compiled(tree, agent, u, v, max_rounds=budget)
+    t2 = time.perf_counter()
+    assert (ref.met, ref.meeting_round) == (cmp_.met, cmp_.meeting_round)
+    rounds = ref.rounds_executed
+    ref_rps = rounds / max(t1 - t0, 1e-9)
+    cmp_rps = rounds / max(t2 - t1, 1e-9)
+    return {
+        "instance": f"counting_walker on colored line n={tree.n}, {rounds} rounds",
+        "rounds": rounds,
+        "reference_rounds_per_sec": round(ref_rps),
+        "compiled_rounds_per_sec": round(cmp_rps),
+        "speedup": round(cmp_rps / ref_rps, 2),
+    }
+
+
+def _delay_sweep(quick: bool) -> dict:
+    tree = edge_colored_line(21 if quick else 41)
+    agent = pausing_walker(2)
+    u, v = 1, tree.n - 3
+    max_delay = 127 if quick else 511
+    budget = 500_000
+
+    t0 = time.perf_counter()
+    reference = {}
+    for theta in range(max_delay + 1):
+        for side in (2,) if theta == 0 else (1, 2):
+            out = run_rendezvous(
+                tree, agent, u, v,
+                delay=theta, delayed=side, max_rounds=budget, certify=True,
+            )
+            reference[(theta, side)] = (out.met, out.meeting_round, out.certified_never)
+    t1 = time.perf_counter()
+    verdicts = solve_all_delays(tree, agent, u, v, max_delay=max_delay)
+    t2 = time.perf_counter()
+
+    match = all(
+        reference[(dv.delay, dv.delayed)]
+        == (dv.met, dv.meeting_round, dv.certified_never)
+        for dv in verdicts
+        if (dv.delay, dv.delayed) in reference
+    )
+    ref_s, batch_s = t1 - t0, max(t2 - t1, 1e-9)
+    return {
+        "instance": f"pausing_walker(2) on colored line n={tree.n}",
+        "max_delay": max_delay,
+        "per_delay_runs": len(reference),
+        "reference_seconds": round(ref_s, 4),
+        "batch_solver_seconds": round(batch_s, 4),
+        "speedup": round(ref_s / batch_s, 1),
+        "verdicts_match": match,
+    }
+
+
+def main(quick: bool = False, out_dir: Path | None = None) -> dict:
+    payload = {
+        "bench": "engine-backends",
+        "quick": quick,
+        "throughput": _throughput(quick),
+        "delay_sweep": _delay_sweep(quick),
+    }
+    record_json("BENCH_engine", payload, out_dir)
+    return payload
+
+
+def test_engine_backends(benchmark):
+    payload = benchmark.pedantic(main, rounds=1, iterations=1)
+    assert payload["delay_sweep"]["verdicts_match"]
+    assert payload["delay_sweep"]["speedup"] >= 5
+
+
+if __name__ == "__main__":
+    main(quick="--quick" in sys.argv[1:])

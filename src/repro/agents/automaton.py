@@ -151,6 +151,18 @@ class LineAutomaton(Automaton):
         fresh = LineAutomaton(self._deg_table, self.output, self.initial_state)
         return fresh
 
+    def __reduce__(self):
+        # The transition closure defined in __init__ is not picklable, but
+        # the automaton is fully determined by its constructor arguments —
+        # required for the multiprocessing fan-out in repro.sim.batch.  The
+        # runtime state rides along so a pickled mid-run agent (e.g. in a
+        # returned outcome) round-trips exactly.
+        return (
+            LineAutomaton,
+            (self._deg_table, self.output, self.initial_state),
+            {"state": self.state},
+        )
+
     def pi_prime(self) -> tuple[int, ...]:
         """The degree-2 transition function π' as a functional table."""
         return tuple(b for _a, b in self._deg_table)

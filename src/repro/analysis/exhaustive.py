@@ -23,7 +23,7 @@ import random
 from dataclasses import dataclass, field
 
 from ..core.rendezvous import solve
-from ..sim.engine import run_rendezvous
+from ..sim.compiled import run_rendezvous_fast
 from ..trees.automorphism import (
     are_symmetric_for_labeling,
     perfectly_symmetrizable,
@@ -107,7 +107,7 @@ def verify_fact_11_impossibility(
                 for u, v in hit:
                     remaining.discard((u, v))
                     report.instances += 1
-                    out = run_rendezvous(
+                    out = run_rendezvous_fast(
                         labeled,
                         rendezvous_agent(max_outer=max_outer),
                         u,

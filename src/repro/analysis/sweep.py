@@ -18,7 +18,7 @@ from ..core.prime_walk import prime_line_agent
 from ..core.rendezvous import solve
 from ..lowerbounds.arbitrary_delay import build_thm31_instance
 from ..lowerbounds.loglog_line import build_thm42_instance
-from ..sim.engine import run_rendezvous
+from ..sim.compiled import run_rendezvous_fast
 from ..trees.automorphism import perfectly_symmetrizable
 from ..trees.builders import complete_binary_tree, double_broom, line, subdivide
 from ..trees.labelings import random_relabel
@@ -154,7 +154,7 @@ def prime_rounds_vs_path_length(
     (endpoint vs interior start: always feasible)."""
     rounds = []
     for m in lengths:
-        out = run_rendezvous(
+        out = run_rendezvous_fast(
             line(m), prime_line_agent(), 0, m // 2 + 1, max_rounds=5_000_000
         )
         if not out.met:  # pragma: no cover - Lemma 4.1 guarantees meeting

@@ -21,7 +21,7 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 
 from ..core.algorithm import rendezvous_agent
-from ..sim.engine import run_rendezvous
+from ..sim.compiled import run_rendezvous_fast
 from ..trees.automorphism import perfectly_symmetrizable
 from ..trees.builders import line
 from ..trees.labelings import random_relabel
@@ -82,7 +82,7 @@ def reps_factor_tradeoff(
         worst = 0
         total = 0
         for tree, u, v in pool:
-            out = run_rendezvous(
+            out = run_rendezvous_fast(
                 tree,
                 rendezvous_agent(reps_factor=factor, max_outer=max_outer),
                 u,

@@ -4,6 +4,7 @@ Commands
 --------
 solve        run the Theorem 4.1 agent on a generated tree
 baseline     run the arbitrary-delay baseline under a chosen delay
+delays       decide every delay θ ≤ Θ in one batch-solver pass
 atlas        feasibility classification over all trees of a given size
 gap          print the headline exponential-gap table (E7)
 thm31        build + certify the Theorem 3.1 adversary for a walker family
@@ -40,12 +41,17 @@ __all__ = ["main", "build_tree"]
 
 
 def build_tree(spec: str, seed: int = 0) -> Tree:
-    """Parse a tree spec: ``line:9``, ``star:5``, ``binary:3``, ``binomial:4``,
-    ``spider:2,3,4``, ``random:20``, ``subdivided:3`` (binary(2) base)."""
+    """Parse a tree spec: ``line:9``, ``colored:9`` (2-edge-colored line),
+    ``star:5``, ``binary:3``, ``binomial:4``, ``spider:2,3,4``,
+    ``random:20``, ``subdivided:3`` (binary(2) base)."""
     kind, _, arg = spec.partition(":")
     rng = random.Random(seed)
     if kind == "line":
         return line(int(arg))
+    if kind == "colored":
+        from .trees import edge_colored_line
+
+        return edge_colored_line(int(arg))
     if kind == "star":
         return star(int(arg))
     if kind == "binary":
@@ -93,6 +99,48 @@ def _cmd_baseline(args: argparse.Namespace) -> int:
         f"met={result.met} round={result.outcome.meeting_round}"
     )
     return 0 if result.met else 2
+
+
+def _build_cli_automaton(spec: str, seed: int):
+    """Parse an automaton spec: ``alternator``, ``counting:3``,
+    ``pausing:2``, ``random:4`` (random line automaton)."""
+    from .agents import alternator, counting_walker, pausing_walker
+    from .agents.automaton import random_line_automaton
+
+    kind, _, arg = spec.partition(":")
+    if kind == "alternator":
+        return alternator()
+    if kind == "counting":
+        return counting_walker(int(arg))
+    if kind == "pausing":
+        return pausing_walker(int(arg))
+    if kind == "random":
+        return random_line_automaton(int(arg), random.Random(seed))
+    raise SystemExit(f"unknown agent spec {spec!r}")
+
+
+def _cmd_delays(args: argparse.Namespace) -> int:
+    from .sim import solve_all_delays
+
+    tree = build_tree(args.tree, args.seed)
+    if args.relabel:
+        tree = random_relabel(tree, random.Random(args.seed))
+    agent = _build_cli_automaton(args.agent, args.seed)
+    verdicts = solve_all_delays(
+        tree, agent, args.u, args.v, max_delay=args.max_delay
+    )
+    met = sum(dv.met for dv in verdicts)
+    print(
+        f"{tree}; agent {args.agent}; pair ({args.u}, {args.v}); "
+        f"θ = 0..{args.max_delay} ({len(verdicts)} adversary choices, "
+        f"{met} met / {len(verdicts) - met} certified-never)"
+    )
+    print(f"{'delay':>7} {'delayed':>8} {'verdict':>16} {'round':>7}")
+    for dv in verdicts:
+        verdict = "met" if dv.met else "certified-never"
+        rnd = dv.meeting_round if dv.met else "-"
+        print(f"{dv.delay:>7} {dv.delayed:>8} {verdict:>16} {rnd:>7}")
+    return 0 if met == len(verdicts) else 2
 
 
 def _cmd_atlas(args: argparse.Namespace) -> int:
@@ -283,6 +331,20 @@ def _parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--relabel", action="store_true")
     p.set_defaults(fn=_cmd_baseline)
+
+    p = sub.add_parser(
+        "delays",
+        help="decide every delay θ ≤ Θ at once (compiled batch solver)",
+    )
+    p.add_argument("--tree", default="line:9")
+    p.add_argument("--agent", default="alternator",
+                   help="alternator | counting:K | pausing:P | random:K")
+    p.add_argument("-u", type=int, default=0)
+    p.add_argument("-v", type=int, default=5)
+    p.add_argument("--max-delay", type=int, default=16, dest="max_delay")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--relabel", action="store_true")
+    p.set_defaults(fn=_cmd_delays)
 
     p = sub.add_parser("atlas", help="feasibility atlas over all n-node trees")
     p.add_argument("-n", type=int, default=7)

@@ -18,7 +18,8 @@ from typing import Optional
 
 from ..agents.program import AgentProgram
 from ..errors import InfeasibleRendezvousError
-from ..sim.engine import RendezvousOutcome, run_rendezvous
+from ..sim.compiled import run_rendezvous_fast
+from ..sim.engine import RendezvousOutcome
 from ..trees.automorphism import perfectly_symmetrizable
 from ..trees.contraction import contract
 from ..trees.tree import Tree
@@ -99,7 +100,7 @@ def solve(
         )
     prototype = agent if agent is not None else rendezvous_agent(max_outer=max_outer)
     budget = max_rounds if max_rounds is not None else estimate_round_budget(tree, max_outer)
-    outcome = run_rendezvous(
+    outcome = run_rendezvous_fast(
         tree,
         prototype,
         start1,
@@ -127,7 +128,7 @@ def solve_with_delay(
     prototype = agent if agent is not None else baseline_agent()
     n = tree.n
     budget = max_rounds if max_rounds is not None else delay + 400 * n * n + 200 * n
-    outcome = run_rendezvous(
+    outcome = run_rendezvous_fast(
         tree,
         prototype,
         start1,

@@ -37,7 +37,8 @@ from typing import Optional
 
 from ..agents.automaton import LineAutomaton
 from ..errors import ConstructionError
-from ..sim.engine import RendezvousOutcome, run_rendezvous
+from ..sim.compiled import run_rendezvous_fast
+from ..sim.engine import RendezvousOutcome
 from ..trees.automorphism import perfectly_symmetrizable
 from ..trees.labelings import thm31_line_labeling
 from .common import bounded_agent_placement
@@ -101,7 +102,7 @@ def build_thm31_instance(
         instance = _drifting_instance(automaton, run, pair)
 
     if verify:
-        outcome = run_rendezvous(
+        outcome = run_rendezvous_fast(
             instance.tree,
             automaton,
             instance.start1,

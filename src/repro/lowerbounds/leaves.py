@@ -30,7 +30,8 @@ from typing import Optional
 from ..agents.automaton import Automaton
 from ..agents.observations import NULL_PORT, STAY
 from ..errors import ConstructionError
-from ..sim.engine import RendezvousOutcome, run_rendezvous
+from ..sim.compiled import run_rendezvous_fast
+from ..sim.engine import RendezvousOutcome
 from ..trees.automorphism import perfectly_symmetrizable
 from ..trees.sidetrees import SideTree, TwoSided, all_side_trees, root_edge_color, two_sided_tree
 from ..trees.tree import Tree
@@ -163,7 +164,7 @@ def build_thm43_instance(
 
     outcome = None
     if verify:
-        outcome = run_rendezvous(
+        outcome = run_rendezvous_fast(
             ts.tree,
             automaton,
             ts.u,

@@ -39,7 +39,8 @@ from typing import Optional
 from ..agents.automaton import LineAutomaton
 from ..agents.digraph import analyze_functional
 from ..errors import ConstructionError
-from ..sim.engine import RendezvousOutcome, run_rendezvous
+from ..sim.compiled import run_rendezvous_fast
+from ..sim.engine import RendezvousOutcome
 from ..trees.automorphism import perfectly_symmetrizable
 from ..trees.labelings import edge_colored_line
 from .common import bounded_agent_placement
@@ -104,7 +105,7 @@ def build_thm42_instance(
         )
 
     if verify:
-        outcome = run_rendezvous(
+        outcome = run_rendezvous_fast(
             instance.tree,
             automaton,
             instance.start1,

@@ -1,4 +1,13 @@
-"""Synchronous two-agent simulation: engine, traces, adversarial sweeps."""
+"""Synchronous two-agent simulation: engine, traces, adversarial sweeps.
+
+Two interchangeable backends execute rendezvous runs:
+
+- :func:`run_rendezvous` — the readable reference engine (the oracle);
+- :func:`run_rendezvous_compiled` — the table-driven backend for
+  finite-state agents, with :func:`solve_all_delays` deciding a whole
+  delay sweep in one pass;
+- :func:`run_rendezvous_fast` — dispatches between them.
+"""
 
 from .adversary import (
     AdversaryReport,
@@ -8,7 +17,17 @@ from .adversary import (
     feasible_start_pairs,
     labelings_for,
 )
+from .batch import BatchJob, run_batch
 from .certificates import JointConfig, NonMeetingCertificate, build_certificate
+from .compiled import (
+    CompiledAgent,
+    DelayVerdict,
+    compile_agent,
+    run_rendezvous_compiled,
+    run_rendezvous_fast,
+    solve_all_delays,
+    supports_compilation,
+)
 from .engine import RendezvousOutcome, run_rendezvous
 from .instrument import RegisterEvent, SoloRun, run_solo
 from .multi import GatheringOutcome, run_gathering
@@ -16,6 +35,15 @@ from .trace import RoundRecord, Trace
 
 __all__ = [
     "run_rendezvous",
+    "run_rendezvous_compiled",
+    "run_rendezvous_fast",
+    "solve_all_delays",
+    "supports_compilation",
+    "compile_agent",
+    "CompiledAgent",
+    "DelayVerdict",
+    "BatchJob",
+    "run_batch",
     "RendezvousOutcome",
     "NonMeetingCertificate",
     "JointConfig",

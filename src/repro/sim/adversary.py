@@ -18,7 +18,9 @@ from ..agents.observations import AgentBase
 from ..trees.automorphism import perfectly_symmetrizable
 from ..trees.labelings import all_labelings, random_relabel
 from ..trees.tree import Tree
-from .engine import RendezvousOutcome, run_rendezvous
+from .batch import BatchJob, run_batch
+from .compiled import run_rendezvous_fast
+from .engine import RendezvousOutcome
 
 __all__ = [
     "all_start_pairs",
@@ -109,34 +111,44 @@ def adversarial_search(
     max_rounds: int = 200_000,
     certify: bool = False,
     stop_at_first_failure: bool = False,
+    processes: Optional[int] = None,
 ) -> AdversaryReport:
     """Attack ``prototype`` with every (labeling, start pair, delay) combo.
 
     ``pairs`` defaults to the feasible (non perfectly symmetrizable) pairs of
     the *topology* — perfect symmetrizability is labeling-independent, so the
     same pair list applies to every relabeling.
+
+    Finite-state prototypes run on the compiled backend automatically.
+    ``processes`` > 1 fans the sweep out over a process pool
+    (:mod:`repro.sim.batch`); it is ignored when ``stop_at_first_failure``
+    is set, since early exit needs sequential results anyway.
     """
     report = AdversaryReport()
     pair_list = list(pairs) if pairs is not None else list(feasible_start_pairs(tree))
     labeled = list(labelings) if labelings is not None else labelings_for(tree)
-    for labeled_tree in labeled:
-        for u, v in pair_list:
-            for delay in delays:
-                sides = (2,) if delay == 0 else (1, 2)
-                for delayed in sides:
-                    outcome = run_rendezvous(
-                        labeled_tree,
-                        prototype,
-                        u,
-                        v,
-                        delay=delay,
-                        delayed=delayed,
-                        max_rounds=max_rounds,
-                        certify=certify,
-                    )
-                    report.record(
-                        FailedInstance(labeled_tree, u, v, delay, delayed, outcome)
-                    )
-                    if stop_at_first_failure and report.failures:
-                        return report
+    grid = [
+        (labeled_tree, u, v, delay, delayed)
+        for labeled_tree in labeled
+        for u, v in pair_list
+        for delay in delays
+        for delayed in ((2,) if delay == 0 else (1, 2))
+    ]
+    if processes is not None and processes > 1 and not stop_at_first_failure:
+        jobs = [
+            BatchJob(t, prototype, u, v, delay=d, delayed=side,
+                     max_rounds=max_rounds, certify=certify)
+            for t, u, v, d, side in grid
+        ]
+        for (t, u, v, d, side), outcome in zip(grid, run_batch(jobs, processes=processes)):
+            report.record(FailedInstance(t, u, v, d, side, outcome))
+        return report
+    for t, u, v, d, side in grid:
+        outcome = run_rendezvous_fast(
+            t, prototype, u, v,
+            delay=d, delayed=side, max_rounds=max_rounds, certify=certify,
+        )
+        report.record(FailedInstance(t, u, v, d, side, outcome))
+        if stop_at_first_failure and report.failures:
+            return report
     return report

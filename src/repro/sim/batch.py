@@ -1,0 +1,102 @@
+"""Multiprocessing fan-out for simulation sweeps.
+
+The adversarial sweeps (labelings × start pairs × delays) are
+embarrassingly parallel: every run is independent and the inputs are
+small.  This module fans a list of :class:`BatchJob` descriptions out over
+a process pool, routing each job through the fast backend dispatch
+(:func:`repro.sim.compiled.run_rendezvous_fast`).
+
+Robustness over raw throughput:
+
+- ``processes=None`` uses ``os.cpu_count()``; ``processes<=1`` runs the
+  jobs serially in-process (no pool overhead, easier debugging);
+- jobs that cannot be pickled (e.g. agents wrapping closures) make the
+  whole batch fall back to the serial path rather than erroring — results
+  are identical, only slower;
+- results always come back in job order.
+
+Explicit automata are picklable (:class:`~repro.agents.automaton.
+LineAutomaton` implements ``__reduce__`` for its internal closure);
+register programs generally are not until they are started, but their
+factories may hold lambdas — hence the fallback.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..agents.observations import AgentBase
+from ..trees.tree import Tree
+from .compiled import run_rendezvous_fast
+from .engine import RendezvousOutcome
+
+__all__ = ["BatchJob", "run_batch"]
+
+
+@dataclass(frozen=True, slots=True)
+class BatchJob:
+    """One independent rendezvous run."""
+
+    tree: Tree
+    prototype: AgentBase
+    start1: int
+    start2: int
+    delay: int = 0
+    delayed: int = 2
+    max_rounds: int = 1_000_000
+    certify: bool = False
+
+
+def _run_job(job: BatchJob) -> RendezvousOutcome:
+    return run_rendezvous_fast(
+        job.tree,
+        job.prototype,
+        job.start1,
+        job.start2,
+        delay=job.delay,
+        delayed=job.delayed,
+        max_rounds=job.max_rounds,
+        certify=job.certify,
+    )
+
+
+def _picklable(jobs: Sequence[BatchJob]) -> bool:
+    try:
+        pickle.dumps(jobs[0])
+        return True
+    except Exception:
+        return False
+
+
+def run_batch(
+    jobs: Sequence[BatchJob],
+    *,
+    processes: Optional[int] = None,
+    chunksize: Optional[int] = None,
+) -> list[RendezvousOutcome]:
+    """Run every job, in parallel when possible; results in job order."""
+    jobs = list(jobs)
+    if not jobs:
+        return []
+    if processes is None:
+        processes = os.cpu_count() or 1
+    processes = min(processes, len(jobs))
+    if processes <= 1 or not _picklable(jobs):
+        return [_run_job(job) for job in jobs]
+
+    import multiprocessing
+
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        ctx = multiprocessing.get_context()
+    if chunksize is None:
+        chunksize = max(1, len(jobs) // (4 * processes))
+    try:
+        with ctx.Pool(processes) as pool:
+            return pool.map(_run_job, jobs, chunksize)
+    except (pickle.PicklingError, OSError):  # pragma: no cover - env-specific
+        return [_run_job(job) for job in jobs]

@@ -1,0 +1,501 @@
+"""Compiled table-driven simulation backend.
+
+The reference engine (:mod:`repro.sim.engine`) is written for clarity: it
+re-dispatches through ``AgentBase.step`` every round, re-queries
+``tree.degree`` / ``tree.move``, and certifies non-meeting with an
+unbounded per-run ``seen`` set.  Every experiment in the reproduction —
+the Theorem 4.1 sweeps, the exhaustive small-tree verification, the lower
+bound certifications — bottoms out in that loop, so this module *lowers*
+a ``(Tree, finite-state agent)`` pair into flat integer tables and steps
+the joint configuration with array indexing only:
+
+- the tree contributes its cached flat navigation tables
+  (:meth:`repro.trees.tree.Tree.flat_move_tables`);
+- an :class:`~repro.agents.automaton.Automaton` is compiled into a flat
+  ``(state, in_port, degree) -> (resolved action, next state)`` table by
+  :func:`compile_agent` (memoized per automaton × tree shape);
+- :func:`run_rendezvous_compiled` replays the exact reference semantics
+  over those tables, replacing the ``seen``-set certificate with Brent
+  cycle detection on the deterministic joint successor — O(1) memory
+  instead of O(rounds);
+- :func:`solve_all_delays` decides *every* delay θ ∈ [0, Θ] (and both
+  delayed-agent choices) in one shared reachability pass over the product
+  configuration graph: trajectories for different delays re-enter the same
+  joint configurations, so each configuration's fate (meets after k rounds
+  / provably never) is computed once and spliced into every later delay.
+
+:func:`run_rendezvous_fast` is the dispatch point the analysis and
+lower-bound layers use: compiled backend for automata, reference engine
+for arbitrary ``AgentBase`` programs.  The reference engine remains the
+oracle; the parity property suite asserts identical verdicts.
+
+Verdict parity contract: ``met``, ``meeting_round``, ``meeting_node`` and
+``certified_never`` agree with the reference engine (given budgets large
+enough for both to decide).  ``rounds_executed`` on a certified-never
+outcome may differ — Brent's anchor detects the cycle at a different (but
+boundedly larger) round than the first-repeat ``seen`` set.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..agents.automaton import Automaton
+from ..agents.observations import NULL_PORT, STAY, AgentBase, resolve_action
+from ..errors import SimulationError
+from ..trees.tree import Tree
+from .engine import RendezvousOutcome, run_rendezvous
+from .trace import RoundRecord, Trace
+
+__all__ = [
+    "CompiledAgent",
+    "compile_agent",
+    "supports_compilation",
+    "run_rendezvous_compiled",
+    "run_rendezvous_fast",
+    "DelayVerdict",
+    "solve_all_delays",
+]
+
+_INVALID = -2  # table sentinel: the live transition raised for this input
+
+
+class CompiledAgent:
+    """Flat transition tables for one automaton on one tree shape.
+
+    The table shape depends only on the tree's maximum degree ``stride``
+    and its set of occurring degrees, so one compilation is reused across
+    every run on trees of the same shape (notably: all relabelings).
+
+    Index layout: for state ``s``, entry port ``ip`` (``-1`` for a null
+    observation) and node degree ``d``::
+
+        idx = (s * (stride + 1) + (ip + 1)) * (stride + 1) + d
+        next_state[idx], action[idx]
+
+    ``action`` is the *resolved* action: ``STAY`` or a concrete port
+    ``< d`` (the ``λ(s') mod d`` rule is baked in at compile time).
+    Entries whose live transition raised hold ``_INVALID`` in
+    ``next_state``; hitting one at run time re-invokes the automaton so
+    the genuine error surfaces exactly as it would in the reference
+    engine.
+    """
+
+    __slots__ = ("automaton", "stride", "next_state", "action", "start_action", "initial_state")
+
+    def __init__(self, automaton: Automaton, stride: int, degrees: frozenset[int]):
+        self.automaton = automaton
+        self.stride = stride
+        self.initial_state = automaton.initial_state
+        width = stride + 1
+        size = automaton.num_states * width * width
+        nxt = [_INVALID] * size
+        act = [STAY] * size
+        output = automaton.output
+        for s in range(automaton.num_states):
+            for d in degrees:
+                for ip in range(-1, d):
+                    try:
+                        s2 = automaton.transition(s, ip, d)
+                    except Exception:
+                        continue  # keep the sentinel; re-raised live if hit
+                    idx = (s * width + (ip + 1)) * width + d
+                    nxt[idx] = s2
+                    act[idx] = resolve_action(output[s2], d)
+        self.next_state = nxt
+        self.action = act
+        self.start_action = tuple(
+            resolve_action(output[automaton.initial_state], d) for d in range(width)
+        )
+
+
+def supports_compilation(prototype: AgentBase) -> bool:
+    """Can ``prototype`` be lowered to transition tables?"""
+    return isinstance(prototype, Automaton)
+
+
+# Compilations are memoized per live automaton object: the weak keying
+# keeps the cache out of pickles (multiprocessing fan-out) and lets table
+# memory die with the automaton.
+_COMPILE_CACHE: "weakref.WeakKeyDictionary[Automaton, dict]" = weakref.WeakKeyDictionary()
+
+
+def compile_agent(automaton: Automaton, tree: Tree) -> CompiledAgent:
+    """Compile (and memoize) ``automaton`` against ``tree``'s shape."""
+    stride, deg, _move_to, _move_in = tree.flat_move_tables()
+    key = (stride, frozenset(deg))
+    try:
+        cache = _COMPILE_CACHE.setdefault(automaton, {})
+    except TypeError:  # pragma: no cover - automaton not weak-referenceable
+        return CompiledAgent(automaton, key[0], key[1])
+    compiled = cache.get(key)
+    if compiled is None:
+        compiled = CompiledAgent(automaton, key[0], key[1])
+        cache[key] = compiled
+    return compiled
+
+
+def _final_agents(
+    prototype: Automaton, s1: int, started1: bool, s2: int, started2: bool
+) -> tuple[Automaton, Automaton]:
+    """Clones carrying the final automaton states, like the reference
+    engine's outcome.agents."""
+    a1, a2 = prototype.clone(), prototype.clone()
+    if started1:
+        a1.state = s1
+    if started2:
+        a2.state = s2
+    return a1, a2
+
+
+def run_rendezvous_compiled(
+    tree: Tree,
+    prototype: Automaton,
+    start1: int,
+    start2: int,
+    *,
+    delay: int = 0,
+    delayed: int = 2,
+    max_rounds: int = 1_000_000,
+    certify: bool = False,
+    record_trace: bool = False,
+) -> RendezvousOutcome:
+    """Table-driven replay of :func:`repro.sim.engine.run_rendezvous`.
+
+    Semantics are identical to the reference engine; non-meeting
+    certification uses Brent cycle detection on the joint configuration
+    (O(1) memory) instead of a ``seen`` set.
+    """
+    if not isinstance(prototype, Automaton):
+        raise SimulationError("compiled backend requires a finite-state Automaton")
+    if not (0 <= start1 < tree.n and 0 <= start2 < tree.n):
+        raise SimulationError("start nodes outside the tree")
+    if delay < 0:
+        raise SimulationError("delay must be >= 0")
+    if delayed not in (1, 2):
+        raise SimulationError("'delayed' must be 1 or 2")
+
+    trace = Trace(start1, start2) if record_trace else None
+    if start1 == start2:
+        return RendezvousOutcome(
+            True, 0, start1, 0, False, 0, trace,
+            _final_agents(prototype, 0, False, 0, False),
+        )
+
+    compiled = compile_agent(prototype, tree)
+    stride, deg, move_to, move_in = tree.flat_move_tables()
+    width = stride + 1
+    nxt, act = compiled.next_state, compiled.action
+    start_act = compiled.start_action
+    s0 = compiled.initial_state
+    automaton = compiled.automaton
+
+    sr1 = delay if delayed == 1 else 0
+    sr2 = delay if delayed == 2 else 0
+    first_joint = max(sr1, sr2) + 1
+
+    pos1, pos2 = start1, start2
+    st1 = st2 = 0  # automaton states (meaningless until started)
+    ip1 = ip2 = 0  # entry-port *indices* (in_port + 1; 0 == NULL_PORT)
+    started1 = started2 = False
+
+    crossings = 0
+    # Brent cycle detection state.
+    anchor: Optional[tuple] = None
+    steps = 0
+    power = 1
+
+    for rnd in range(1, max_rounds + 1):
+        prev1, prev2 = pos1, pos2
+
+        # -- agent 1 -----------------------------------------------------
+        if started1:
+            d = deg[pos1]
+            idx = (st1 * width + ip1) * width + d
+            s2_ = nxt[idx]
+            if s2_ == _INVALID:
+                automaton.transition(st1, ip1 - 1, d)  # raises the real error
+                raise SimulationError("invalid transition entry")  # pragma: no cover
+            st1 = s2_
+            a = act[idx]
+        elif rnd > sr1:
+            started1 = True
+            st1 = s0
+            a = start_act[deg[pos1]]
+        else:
+            a = STAY
+        act1 = a
+        if a == STAY:
+            ip1 = 0
+        else:
+            base = pos1 * stride + a
+            pos1 = move_to[base]
+            ip1 = move_in[base] + 1
+
+        # -- agent 2 -----------------------------------------------------
+        if started2:
+            d = deg[pos2]
+            idx = (st2 * width + ip2) * width + d
+            s2_ = nxt[idx]
+            if s2_ == _INVALID:
+                automaton.transition(st2, ip2 - 1, d)
+                raise SimulationError("invalid transition entry")  # pragma: no cover
+            st2 = s2_
+            a = act[idx]
+        elif rnd > sr2:
+            started2 = True
+            st2 = s0
+            a = start_act[deg[pos2]]
+        else:
+            a = STAY
+        act2 = a
+        if a == STAY:
+            ip2 = 0
+        else:
+            base = pos2 * stride + a
+            pos2 = move_to[base]
+            ip2 = move_in[base] + 1
+
+        # -- bookkeeping (reference order: trace, crossing, meet, certify)
+        if trace is not None:
+            trace.append(RoundRecord(rnd, pos1, pos2, act1, act2))
+        if pos1 == prev2 and pos2 == prev1 and pos1 != pos2:
+            crossings += 1
+        if pos1 == pos2:
+            return RendezvousOutcome(
+                True, rnd, pos1, rnd, False, crossings, trace,
+                _final_agents(prototype, st1, started1, st2, started2),
+            )
+        if certify and rnd > first_joint:
+            config = (pos1, st1, ip1, pos2, st2, ip2)
+            if config == anchor:
+                return RendezvousOutcome(
+                    False, None, None, rnd, True, crossings, trace,
+                    _final_agents(prototype, st1, started1, st2, started2),
+                )
+            steps += 1
+            if steps == power:
+                anchor = config
+                steps = 0
+                power <<= 1
+
+    return RendezvousOutcome(
+        False, None, None, max_rounds, False, crossings, trace,
+        _final_agents(prototype, st1, started1, st2, started2),
+    )
+
+
+def run_rendezvous_fast(
+    tree: Tree,
+    prototype: AgentBase,
+    start1: int,
+    start2: int,
+    **kwargs,
+) -> RendezvousOutcome:
+    """Backend dispatch: compiled tables for finite-state automata, the
+    reference engine for everything else.
+
+    Accepts exactly the keyword arguments of
+    :func:`repro.sim.engine.run_rendezvous`.  Force the reference engine
+    by calling it directly.
+    """
+    if supports_compilation(prototype):
+        return run_rendezvous_compiled(tree, prototype, start1, start2, **kwargs)
+    return run_rendezvous(tree, prototype, start1, start2, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# The batched all-delays solver
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class DelayVerdict:
+    """Exact fate of one ``(delay, delayed)`` adversary choice.
+
+    The product-configuration graph is finite, so the batch solver always
+    decides: exactly one of ``met`` / ``certified_never`` is true.
+    """
+
+    delay: int
+    delayed: int
+    met: bool
+    meeting_round: Optional[int]
+    certified_never: bool
+
+
+_NEVER = (False, -1)
+
+
+def solve_all_delays(
+    tree: Tree,
+    prototype: Automaton,
+    start1: int,
+    start2: int,
+    *,
+    max_delay: int,
+    delayed_sides: Sequence[int] = (1, 2),
+    max_configs: int = 4_000_000,
+) -> list[DelayVerdict]:
+    """Decide every delay θ ∈ [0, max_delay] in one shared reachability pass.
+
+    For each requested ``delayed`` side, the non-delayed agent's solo
+    trajectory is simulated once; each delay's joint phase then starts
+    from the configuration reached at its θ and walks the deterministic
+    product configuration graph.  Configuration fates are memoized in one
+    dictionary shared across all delays *and both sides*, so the total
+    work is proportional to the number of distinct joint configurations
+    reached — not to Θ × (rounds per run) as with per-delay simulation.
+
+    Returns verdicts ordered by (delay, position of side in
+    ``delayed_sides``).  At θ = 0 the two sides are the same adversary
+    choice, so — matching the sweep convention elsewhere — only one
+    verdict is emitted for it (side 2 when requested, else the single
+    requested side).  Raises :class:`SimulationError` if more than
+    ``max_configs`` distinct configurations are explored (a guard, not a
+    round budget — the solver is otherwise exact).
+    """
+    if not isinstance(prototype, Automaton):
+        raise SimulationError("the all-delays solver requires a finite-state Automaton")
+    if not (0 <= start1 < tree.n and 0 <= start2 < tree.n):
+        raise SimulationError("start nodes outside the tree")
+    if max_delay < 0:
+        raise SimulationError("max_delay must be >= 0")
+    for side in delayed_sides:
+        if side not in (1, 2):
+            raise SimulationError("'delayed_sides' entries must be 1 or 2")
+
+    sides = list(dict.fromkeys(delayed_sides))
+    zero_side = 2 if 2 in sides else sides[0]
+
+    if start1 == start2:
+        return [
+            DelayVerdict(theta, side, True, 0, False)
+            for theta in range(max_delay + 1)
+            for side in sides
+            if theta > 0 or side == zero_side
+        ]
+
+    compiled = compile_agent(prototype, tree)
+    stride, deg, move_to, move_in = tree.flat_move_tables()
+    width = stride + 1
+    nxt, act = compiled.next_state, compiled.action
+    start_act = compiled.start_action
+    s0 = compiled.initial_state
+    automaton = compiled.automaton
+
+    def step_one(pos: int, st: int, ip: int) -> tuple[int, int, int]:
+        """One started-agent round: (pos, state, ip-index) -> successor."""
+        d = deg[pos]
+        idx = (st * width + ip) * width + d
+        s2 = nxt[idx]
+        if s2 == _INVALID:
+            automaton.transition(st, ip - 1, d)  # raises the real error
+            raise SimulationError("invalid transition entry")  # pragma: no cover
+        a = act[idx]
+        if a == STAY:
+            return pos, s2, 0
+        base = pos * stride + a
+        return move_to[base], s2, move_in[base] + 1
+
+    # verdict[config] = (True, k): meets k rounds after reaching config;
+    #                   (False, -1): provably never meets from config.
+    verdict: dict[tuple, tuple[bool, int]] = {}
+
+    def resolve(config: tuple) -> tuple[bool, int]:
+        """Fate of ``config`` (the joint configuration after some round)."""
+        path: list[tuple] = []
+        on_path: dict[tuple, int] = {}
+        cur = config
+        while True:
+            known = verdict.get(cur)
+            if known is not None:
+                res = known
+                break
+            if cur[0] == cur[3]:  # meeting configuration
+                res = (True, 0)
+                verdict[cur] = res
+                break
+            if cur in on_path:  # fresh cycle, and no meeting on it
+                res = _NEVER
+                break
+            on_path[cur] = len(path)
+            path.append(cur)
+            if len(verdict) + len(path) > max_configs:
+                raise SimulationError(
+                    f"all-delays solver exceeded max_configs={max_configs}"
+                )
+            cur = (
+                *step_one(cur[0], cur[1], cur[2]),
+                *step_one(cur[3], cur[4], cur[5]),
+            )
+        met, dist = res
+        if met:
+            for c in reversed(path):
+                dist += 1
+                verdict[c] = (True, dist)
+        else:
+            for c in path:
+                verdict[c] = _NEVER
+        return verdict[config]
+
+    out: dict[tuple[int, int], DelayVerdict] = {}
+    for side in sides:
+        runner_start = start1 if side == 2 else start2
+        sleeper_start = start2 if side == 2 else start1
+        first_theta = 0 if side == zero_side else 1
+
+        # Solo prefix of the non-delayed agent: configs after rounds
+        # 1..max_delay, and the first round it steps onto the sleeper.
+        solo: list[tuple[int, int, int]] = []
+        first_hit: Optional[int] = None
+        pos, st, ip = runner_start, s0, 0
+        a = start_act[deg[runner_start]]
+        if a != STAY:
+            base = pos * stride + a
+            pos, ip = move_to[base], move_in[base] + 1
+        solo.append((pos, st, ip))
+        if pos == sleeper_start:
+            first_hit = 1
+        for t in range(2, max_delay + 1):
+            pos, st, ip = step_one(pos, st, ip)
+            solo.append((pos, st, ip))
+            if first_hit is None and pos == sleeper_start:
+                first_hit = t
+
+        for theta in range(first_theta, max_delay + 1):
+            if first_hit is not None and theta >= first_hit:
+                out[(theta, side)] = DelayVerdict(theta, side, True, first_hit, False)
+                continue
+            # Round θ+1: the runner takes its (θ+1)-th active round, the
+            # sleeper executes its start action.
+            if theta == 0:
+                r_pos, r_st, r_ip = solo[0]
+            else:
+                r_pos, r_st, r_ip = step_one(*solo[theta - 1])
+            sl_st = s0
+            a = start_act[deg[sleeper_start]]
+            if a == STAY:
+                sl_pos, sl_ip = sleeper_start, 0
+            else:
+                base = sleeper_start * stride + a
+                sl_pos, sl_ip = move_to[base], move_in[base] + 1
+            if side == 2:
+                entry = (r_pos, r_st, r_ip, sl_pos, sl_st, sl_ip)
+            else:
+                entry = (sl_pos, sl_st, sl_ip, r_pos, r_st, r_ip)
+            met, dist = resolve(entry)
+            if met:
+                out[(theta, side)] = DelayVerdict(
+                    theta, side, True, theta + 1 + dist, False
+                )
+            else:
+                out[(theta, side)] = DelayVerdict(theta, side, False, None, True)
+
+    return [
+        out[(theta, side)]
+        for theta in range(max_delay + 1)
+        for side in sides
+        if theta > 0 or side == zero_side
+    ]

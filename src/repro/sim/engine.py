@@ -34,7 +34,7 @@ from .trace import RoundRecord, Trace
 __all__ = ["RendezvousOutcome", "run_rendezvous"]
 
 
-@dataclass
+@dataclass(slots=True)
 class _AgentState:
     agent: AgentBase
     pos: int
@@ -43,8 +43,10 @@ class _AgentState:
     in_port: int = NULL_PORT  # pending observation for the next step
 
     def config_key(self) -> tuple:
+        # Certification keys are only formed once both agents have started,
+        # so the started flag is constant there and carries no information.
         state = getattr(self.agent, "state", None)
-        return (self.pos, state, self.in_port, self.started)
+        return (self.pos, state, self.in_port)
 
 
 @dataclass(frozen=True)
@@ -118,6 +120,13 @@ def run_rendezvous(
     certifiable = certify and all(
         getattr(a.agent, "state", None) is not None for a in (a1, a2)
     )
+    # Certification starts at the first fully post-start round: the round
+    # after the later agent executed its start action.  The joint
+    # configuration only becomes a pure function of the previous one from
+    # that point on (the start action is driven by the start rule, not the
+    # step rule), and the compiled backend's cycle detection anchors on the
+    # same round, keeping the two backends' verdicts aligned.
+    first_joint = max(a1.start_round, a2.start_round) + 1
     seen: set[tuple] = set()
     crossings = 0
 
@@ -135,7 +144,7 @@ def run_rendezvous(
             return RendezvousOutcome(
                 True, rnd, a1.pos, rnd, False, crossings, trace, (a1.agent, a2.agent)
             )
-        if certifiable and a1.started and a2.started:
+        if certifiable and rnd > first_joint:
             key = (a1.config_key(), a2.config_key())
             if key in seen:
                 return RendezvousOutcome(

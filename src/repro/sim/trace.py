@@ -16,7 +16,7 @@ from ..agents.observations import STAY
 __all__ = ["RoundRecord", "Trace"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RoundRecord:
     """State of the world after one synchronous round.
 
@@ -40,7 +40,7 @@ class RoundRecord:
         return self.action2 != STAY
 
 
-@dataclass
+@dataclass(slots=True)
 class Trace:
     """A full execution trace: initial positions plus one record per round."""
 

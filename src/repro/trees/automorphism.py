@@ -240,18 +240,19 @@ def port_preserving_automorphism(tree: Tree) -> Optional[dict[int, int]]:
     # for f to preserve ports (f maps the central edge to itself).
     if tree.port(x, y) != tree.port(y, x):
         return None
+    stride, deg, move_to, move_in = tree.flat_move_tables()
     mapping: dict[int, int] = {x: y, y: x}
     stack = [(x, y)]
     while stack:
         a, b = stack.pop()
-        if tree.degree(a) != tree.degree(b):
+        if deg[a] != deg[b]:
             return None
-        for p in range(tree.degree(a)):
-            na, _ = tree.move(a, p)
-            nb, _ = tree.move(b, p)
+        for p in range(deg[a]):
+            na = move_to[a * stride + p]
+            nb = move_to[b * stride + p]
             # Entry ports must also agree: port of {a,na} at na must equal
             # port of {b,nb} at nb.
-            if tree.port(na, a) != tree.port(nb, b):
+            if move_in[a * stride + p] != move_in[b * stride + p]:
                 return None
             if na in mapping:
                 if mapping[na] != nb:

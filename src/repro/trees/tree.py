@@ -49,7 +49,7 @@ class Tree:
     :func:`repro.trees.automorphism.canonical_form` for isomorphism tests.
     """
 
-    __slots__ = ("_port_to_nbr", "_nbr_to_port", "_n", "_hash")
+    __slots__ = ("_port_to_nbr", "_nbr_to_port", "_n", "_hash", "_degrees", "_flat")
 
     def __init__(self, port_to_nbr: Sequence[Sequence[int]], *, validate: bool = True):
         self._port_to_nbr: tuple[tuple[int, ...], ...] = tuple(
@@ -57,6 +57,10 @@ class Tree:
         )
         self._n = len(self._port_to_nbr)
         self._hash: Optional[int] = None
+        # Lazily-built caches.  Transformations (with_ports, renumber_nodes)
+        # return new Tree objects, so each labeling carries its own tables.
+        self._degrees: Optional[tuple[int, ...]] = None
+        self._flat: Optional[tuple[int, tuple[int, ...], tuple[int, ...], tuple[int, ...]]] = None
         # Reverse map: _nbr_to_port[u][v] == the port at u of edge {u, v}.
         self._nbr_to_port: tuple[dict[int, int], ...] = tuple(
             {v: p for p, v in enumerate(row)} for row in self._port_to_nbr
@@ -187,8 +191,40 @@ class Tree:
     def degree(self, u: int) -> int:
         return len(self._port_to_nbr[u])
 
+    @property
+    def degree_table(self) -> tuple[int, ...]:
+        """Cached per-node degrees (built once per Tree object)."""
+        if self._degrees is None:
+            self._degrees = tuple(len(row) for row in self._port_to_nbr)
+        return self._degrees
+
     def degrees(self) -> list[int]:
-        return [len(row) for row in self._port_to_nbr]
+        return list(self.degree_table)
+
+    def flat_move_tables(self) -> tuple[int, tuple[int, ...], tuple[int, ...], tuple[int, ...]]:
+        """Flat integer navigation tables ``(stride, deg, move_to, move_in)``.
+
+        ``stride`` is the maximum degree; for a node ``u`` and port
+        ``p < deg[u]``, ``move_to[u * stride + p]`` is the node reached and
+        ``move_in[u * stride + p]`` is the entry port observed on arrival —
+        the same pair :meth:`move` returns, but reachable by plain indexing
+        with no bounds checks or dict lookups.  Unused slots hold ``-1``.
+        Built once per Tree object and shared by the compiled simulation
+        backend and any other hot consumer.
+        """
+        if self._flat is None:
+            deg = self.degree_table
+            stride = max(deg) if deg else 0
+            move_to = [-1] * (self._n * max(stride, 1))
+            move_in = [-1] * (self._n * max(stride, 1))
+            for u, row in enumerate(self._port_to_nbr):
+                base = u * stride
+                rev = self._nbr_to_port
+                for p, v in enumerate(row):
+                    move_to[base + p] = v
+                    move_in[base + p] = rev[v][u]
+            self._flat = (stride, deg, tuple(move_to), tuple(move_in))
+        return self._flat
 
     def neighbors(self, u: int) -> tuple[int, ...]:
         """Neighbors of ``u`` in port order."""
@@ -208,7 +244,7 @@ class Tree:
         return self._n > 1 and len(self._port_to_nbr[u]) == 1
 
     def max_degree(self) -> int:
-        return max(len(row) for row in self._port_to_nbr)
+        return max(self.degree_table)
 
     def edges(self) -> Iterator[tuple[int, int]]:
         """Undirected edges, each yielded once with ``u < v``."""

@@ -14,6 +14,7 @@ class TestBuildTree:
         assert build_tree("spider:2,3").n == 6
         assert build_tree("random:12").n == 12
         assert build_tree("subdivided:2").n == 7 + 6 * 2
+        assert build_tree("colored:9").n == 9
 
     def test_random_seeded(self):
         assert build_tree("random:15", seed=4) == build_tree("random:15", seed=4)
@@ -40,6 +41,17 @@ class TestCommands:
                    "--delay", "9"])
         assert rc == 0
         assert "met=True" in capsys.readouterr().out
+
+    def test_delays(self, capsys):
+        rc = main(["delays", "--tree", "colored:9", "--agent", "alternator",
+                   "-u", "0", "-v", "5", "--max-delay", "3"])
+        out = capsys.readouterr().out
+        assert rc == 2  # even delays stay symmetric: some choices never meet
+        assert "certified-never" in out and "met" in out
+
+    def test_delays_unknown_agent(self):
+        with pytest.raises(SystemExit):
+            main(["delays", "--agent", "warp:3"])
 
     def test_atlas(self, capsys):
         rc = main(["atlas", "-n", "5"])

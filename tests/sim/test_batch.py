@@ -1,0 +1,66 @@
+"""Tests for the multiprocessing fan-out (repro.sim.batch)."""
+
+import pickle
+
+from repro.agents import STAY, Automaton, LineAutomaton
+from repro.sim import BatchJob, adversarial_search, run_batch
+from repro.trees import edge_colored_line, line
+
+
+def walker():
+    return Automaton(1, {}, [0])
+
+
+def jobs_fixture():
+    t = line(6)
+    return [
+        BatchJob(t, walker(), u, v, delay=d, max_rounds=5000, certify=True)
+        for (u, v, d) in [(0, 5, 0), (1, 4, 2), (2, 5, 1), (0, 3, 0)]
+    ]
+
+
+def as_verdicts(outcomes):
+    return [(o.met, o.meeting_round, o.certified_never) for o in outcomes]
+
+
+def test_serial_and_parallel_agree():
+    serial = run_batch(jobs_fixture(), processes=1)
+    parallel = run_batch(jobs_fixture(), processes=2)
+    assert as_verdicts(serial) == as_verdicts(parallel)
+
+
+def test_empty_batch():
+    assert run_batch([]) == []
+
+
+def test_unpicklable_prototype_falls_back_to_serial():
+    # A transition *closure* cannot be pickled; the batch must silently run
+    # serially and still return correct results.
+    agent = Automaton(1, lambda s, ip, d: 0, [STAY])
+    jobs = [BatchJob(line(5), agent, 1, 3, max_rounds=50, certify=True)]
+    (out,) = run_batch(jobs, processes=4)
+    assert out.certified_never
+
+
+def test_line_automaton_pickle_roundtrip():
+    agent = LineAutomaton([(0, 1), (1, 0)], [0, 1], initial_state=1)
+    agent.step(0, 2)  # advance the runtime state past the initial one
+    copy = pickle.loads(pickle.dumps(agent))
+    assert copy.num_states == agent.num_states
+    assert copy.output == agent.output
+    assert copy.initial_state == agent.initial_state
+    assert copy.pi_prime() == agent.pi_prime()
+    assert copy.state == agent.state  # mid-run state survives the pool hop
+
+
+def test_adversarial_search_parallel_matches_serial():
+    t = edge_colored_line(6)
+    serial = adversarial_search(t, walker(), delays=(0, 1), max_rounds=4000, certify=True)
+    parallel = adversarial_search(
+        t, walker(), delays=(0, 1), max_rounds=4000, certify=True, processes=2
+    )
+    assert serial.instances_run == parallel.instances_run
+    assert serial.successes == parallel.successes
+    assert serial.undecided == parallel.undecided
+    assert len(serial.failures) == len(parallel.failures)
+    assert serial.max_meeting_round == parallel.max_meeting_round

@@ -1,0 +1,44 @@
+"""Tier-1 smoke run of the engine benchmark (satellite of the compiled
+backend PR): keeps BENCH_engine.json fresh and guards the headline
+speedups against regression without leaving the tier-1 time budget."""
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def load_bench_engine():
+    path = REPO_ROOT / "benchmarks" / "bench_engine.py"
+    spec = importlib.util.spec_from_file_location("bench_engine", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["bench_engine"] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.bench_smoke
+def test_bench_engine_quick_emits_json(tmp_path):
+    # Emit into tmp_path: the versioned BENCH_engine.json at the repo root
+    # is refreshed only by `make bench-smoke` / `make bench-engine`, so a
+    # plain pytest run never dirties the working tree.
+    payload = load_bench_engine().main(quick=True, out_dir=tmp_path)
+
+    path = tmp_path / "BENCH_engine.json"
+    assert path.exists()
+    on_disk = json.loads(path.read_text())
+    assert on_disk["bench"] == "engine-backends"
+    assert on_disk["throughput"]["compiled_rounds_per_sec"] > 0
+    assert on_disk["throughput"]["reference_rounds_per_sec"] > 0
+
+    # Correctness gates hard; wall-clock ratios gate loosely (both sides
+    # are timed back-to-back in-process, so the ratio is stable, but CI
+    # boxes are noisy — the honest bar lives in the recorded JSON).
+    sweep = payload["delay_sweep"]
+    assert sweep["verdicts_match"], "batch solver diverged from the reference"
+    assert sweep["speedup"] >= 5
+    assert payload["throughput"]["speedup"] > 1.0

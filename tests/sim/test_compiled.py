@@ -1,0 +1,259 @@
+"""Unit tests for the compiled table-driven backend and the batch solver."""
+
+import pytest
+
+from repro.agents import STAY, Automaton, LineAutomaton, alternator
+from repro.errors import AgentProtocolError, SimulationError
+from repro.sim import (
+    compile_agent,
+    run_rendezvous,
+    run_rendezvous_compiled,
+    run_rendezvous_fast,
+    solve_all_delays,
+    supports_compilation,
+)
+from repro.trees import edge_colored_line, line, random_relabel, star
+
+
+def waiting_agent():
+    return Automaton(1, {}, [STAY])
+
+
+def port0_walker():
+    return Automaton(1, {}, [0])
+
+
+def pausing_line_agent():
+    # 3 states: walk port 0 / pause / walk port 1 — enough to exercise
+    # nontrivial state, STAY handling, and the mod-degree rule.
+    table = {}
+    for ip in range(-1, 3):
+        for d in (1, 2, 3):
+            table[(0, ip, d)] = 1
+            table[(1, ip, d)] = 2
+            table[(2, ip, d)] = 0
+    return Automaton(3, table, [0, STAY, 1])
+
+
+def outcomes_match(ref, cmp_, *, full=False):
+    core = (
+        ref.met == cmp_.met
+        and ref.meeting_round == cmp_.meeting_round
+        and ref.meeting_node == cmp_.meeting_node
+        and ref.certified_never == cmp_.certified_never
+    )
+    if not full:
+        return core
+    # Met and undecided runs execute the same number of rounds, so the
+    # whole observable history must agree.
+    return (
+        core
+        and ref.rounds_executed == cmp_.rounds_executed
+        and ref.crossings == cmp_.crossings
+    )
+
+
+class TestSingleRunParity:
+    @pytest.mark.parametrize("delay,delayed", [(0, 2), (3, 1), (3, 2), (50, 2)])
+    def test_walker_on_line(self, delay, delayed):
+        t = line(7)
+        kw = dict(delay=delay, delayed=delayed, max_rounds=5000, certify=True)
+        ref = run_rendezvous(t, port0_walker(), 2, 6, **kw)
+        cmp_ = run_rendezvous_compiled(t, port0_walker(), 2, 6, **kw)
+        assert not ref.undecided  # a 1-state agent decides within the budget
+        assert outcomes_match(ref, cmp_, full=ref.met)
+
+    def test_chasing_walkers_meet(self):
+        # Both copies slide toward node 0; the leader bounces on the 0-1
+        # edge and the chaser catches it (even inter-agent distance).
+        ref = run_rendezvous(line(7), port0_walker(), 2, 6)
+        cmp_ = run_rendezvous_compiled(line(7), port0_walker(), 2, 6)
+        assert ref.met and outcomes_match(ref, cmp_, full=True)
+
+    def test_same_start_round_zero(self):
+        out = run_rendezvous_compiled(line(5), waiting_agent(), 2, 2)
+        assert out.met and out.meeting_round == 0 and out.meeting_node == 2
+
+    def test_certified_never_matches_reference_verdict(self):
+        t = line(5)
+        ref = run_rendezvous(t, waiting_agent(), 1, 3, certify=True)
+        cmp_ = run_rendezvous_compiled(t, waiting_agent(), 1, 3, certify=True)
+        assert ref.certified_never and cmp_.certified_never
+        # Brent may need a few more rounds than the first-repeat seen set,
+        # but stays within a constant factor.
+        assert cmp_.rounds_executed <= 4 * ref.rounds_executed + 8
+
+    def test_undecided_respects_budget(self):
+        out = run_rendezvous_compiled(line(9), waiting_agent(), 0, 8, max_rounds=17)
+        assert out.undecided and out.rounds_executed == 17
+
+    def test_trace_and_crossings_parity(self):
+        t = edge_colored_line(8)
+        ref = run_rendezvous(t, alternator(), 2, 3, max_rounds=60, record_trace=True)
+        cmp_ = run_rendezvous_compiled(
+            t, alternator(), 2, 3, max_rounds=60, record_trace=True
+        )
+        assert outcomes_match(ref, cmp_, full=True)
+        rr = [(r.round_index, r.pos1, r.pos2, r.action1, r.action2) for r in ref.trace.records]
+        cc = [(r.round_index, r.pos1, r.pos2, r.action1, r.action2) for r in cmp_.trace.records]
+        assert rr == cc
+
+    def test_pausing_agent_parity(self):
+        t = edge_colored_line(9)
+        budget = 5000
+        for u, v in [(0, 8), (1, 5), (3, 4)]:
+            ref = run_rendezvous(
+                t, pausing_line_agent(), u, v, max_rounds=budget, certify=True
+            )
+            cmp_ = run_rendezvous_compiled(
+                t, pausing_line_agent(), u, v, max_rounds=budget, certify=True
+            )
+            assert outcomes_match(ref, cmp_)
+
+    def test_validation_errors(self):
+        with pytest.raises(SimulationError):
+            run_rendezvous_compiled(line(3), waiting_agent(), 0, 9)
+        with pytest.raises(SimulationError):
+            run_rendezvous_compiled(line(3), waiting_agent(), 0, 1, delay=-1)
+        with pytest.raises(SimulationError):
+            run_rendezvous_compiled(line(3), waiting_agent(), 0, 1, delayed=3)
+        with pytest.raises(SimulationError):
+            run_rendezvous_compiled(line(3), baseline_like_program(), 0, 1)
+
+    def test_agent_error_surfaces_like_reference(self):
+        # A LineAutomaton is undefined on degree-3 nodes; both backends
+        # must raise the same protocol error when the agent observes one.
+        # The second agent sleeps so the walkers don't just meet at the
+        # center: agent 1 enters the hub in round 1 and observes degree 3
+        # in round 2.
+        agent = LineAutomaton([(0, 0)], [0])
+        with pytest.raises(AgentProtocolError):
+            run_rendezvous(star(3), agent, 1, 2, delay=5, delayed=2, max_rounds=10)
+        with pytest.raises(AgentProtocolError):
+            run_rendezvous_compiled(
+                star(3), agent, 1, 2, delay=5, delayed=2, max_rounds=10
+            )
+
+
+def baseline_like_program():
+    """A non-automaton AgentBase stand-in (no compiled support)."""
+
+    class P:
+        def start(self, degree):
+            return STAY
+
+        def step(self, in_port, degree):
+            return STAY
+
+        def clone(self):
+            return P()
+
+    return P()
+
+
+class TestDispatch:
+    def test_automaton_routes_to_compiled(self):
+        assert supports_compilation(waiting_agent())
+        out = run_rendezvous_fast(line(5), waiting_agent(), 1, 3, certify=True)
+        assert out.certified_never
+
+    def test_program_falls_back_to_reference(self):
+        proto = baseline_like_program()
+        assert not supports_compilation(proto)
+        out = run_rendezvous_fast(line(5), proto, 1, 3, max_rounds=12)
+        assert out.undecided and out.rounds_executed == 12
+
+    def test_compilation_memoized_across_relabelings(self):
+        import random
+
+        agent = pausing_line_agent()
+        t1 = edge_colored_line(9)
+        t2 = random_relabel(line(9), random.Random(1))
+        c1 = compile_agent(agent, t1)
+        c2 = compile_agent(agent, t1)
+        c3 = compile_agent(agent, t2)
+        assert c1 is c2  # same tree shape -> cached
+        assert c1 is c3  # relabeled line: same (stride, degree set)
+
+
+class TestAllDelaysSolver:
+    def reference_sweep(self, tree, agent, u, v, max_delay, budget=200_000):
+        rows = {}
+        for theta in range(max_delay + 1):
+            for side in (1, 2):
+                out = run_rendezvous(
+                    tree, agent, u, v,
+                    delay=theta, delayed=side, max_rounds=budget, certify=True,
+                )
+                assert not out.undecided, "reference budget too small for parity"
+                rows[(theta, side)] = (out.met, out.meeting_round, out.certified_never)
+        return rows
+
+    def test_matches_per_delay_reference(self):
+        t = edge_colored_line(9)
+        agent = pausing_line_agent()
+        u, v = 1, 6
+        ref = self.reference_sweep(t, agent, u, v, 8)
+        for dv in solve_all_delays(t, agent, u, v, max_delay=8):
+            assert ref[(dv.delay, dv.delayed)] == (
+                dv.met, dv.meeting_round, dv.certified_never,
+            )
+
+    def test_never_meeting_family(self):
+        t = line(6)
+        ref = self.reference_sweep(t, waiting_agent(), 1, 4, 5, budget=1000)
+        for dv in solve_all_delays(t, waiting_agent(), 1, 4, max_delay=5):
+            assert dv.certified_never and not dv.met
+            assert ref[(dv.delay, dv.delayed)] == (False, None, True)
+
+    def test_prefix_meeting_on_sleeping_agent(self):
+        # port-0 walker reaches the sleeper's node during the delay phase:
+        # the meeting round must saturate at the solo hitting time.
+        t = line(4)
+        verdicts = {
+            (dv.delay, dv.delayed): dv
+            for dv in solve_all_delays(t, port0_walker(), 3, 0, max_delay=10)
+        }
+        ref = run_rendezvous(t, port0_walker(), 3, 0, delay=10, delayed=2)
+        assert ref.met
+        dv = verdicts[(10, 2)]
+        assert dv.met and dv.meeting_round == ref.meeting_round
+
+    def test_same_start_all_met_at_zero(self):
+        for dv in solve_all_delays(line(5), waiting_agent(), 2, 2, max_delay=3):
+            assert dv.met and dv.meeting_round == 0
+
+    def test_zero_delay_emitted_once(self):
+        # At theta = 0 both sides are the same adversary choice; the solver
+        # reports it once (side 2, matching the sweep convention).
+        vs = solve_all_delays(line(5), waiting_agent(), 0, 3, max_delay=2)
+        assert [(dv.delay, dv.delayed) for dv in vs] == [
+            (0, 2), (1, 1), (1, 2), (2, 1), (2, 2),
+        ]
+        same = solve_all_delays(line(5), waiting_agent(), 2, 2, max_delay=1)
+        assert [(dv.delay, dv.delayed) for dv in same] == [(0, 2), (1, 1), (1, 2)]
+
+    def test_delayed_sides_subset_and_order(self):
+        vs = solve_all_delays(
+            line(5), waiting_agent(), 0, 3, max_delay=2, delayed_sides=(2,)
+        )
+        assert [(dv.delay, dv.delayed) for dv in vs] == [(0, 2), (1, 2), (2, 2)]
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            solve_all_delays(line(3), waiting_agent(), 0, 9, max_delay=1)
+        with pytest.raises(SimulationError):
+            solve_all_delays(line(3), waiting_agent(), 0, 1, max_delay=-1)
+        with pytest.raises(SimulationError):
+            solve_all_delays(
+                line(3), waiting_agent(), 0, 1, max_delay=1, delayed_sides=(3,)
+            )
+        with pytest.raises(SimulationError):
+            solve_all_delays(line(3), baseline_like_program(), 0, 1, max_delay=1)
+
+    def test_max_configs_guard(self):
+        with pytest.raises(SimulationError):
+            solve_all_delays(
+                edge_colored_line(9), pausing_line_agent(), 1, 6,
+                max_delay=4, max_configs=2,
+            )

@@ -1,0 +1,63 @@
+"""Tests for the Tree-level caches shared by the simulation backends."""
+
+import random
+
+from repro.trees import (
+    complete_binary_tree,
+    line,
+    random_relabel,
+    random_tree,
+    star,
+)
+
+
+def test_degree_table_matches_degrees_and_is_cached():
+    t = complete_binary_tree(3)
+    assert list(t.degree_table) == [t.degree(u) for u in range(t.n)]
+    assert t.degree_table is t.degree_table  # built once
+
+
+def test_degrees_returns_fresh_mutable_list():
+    t = line(5)
+    d = t.degrees()
+    d[0] = 99  # callers (center peeling) mutate their copy
+    assert t.degrees()[0] == 1
+    assert t.degree_table[0] == 1
+
+
+def test_flat_move_tables_match_move():
+    rng = random.Random(7)
+    for tree in [line(9), star(5), complete_binary_tree(3), random_tree(12, rng)]:
+        tree = random_relabel(tree, rng)
+        stride, deg, move_to, move_in = tree.flat_move_tables()
+        assert stride == tree.max_degree()
+        assert deg == tree.degree_table
+        for u in range(tree.n):
+            for p in range(tree.degree(u)):
+                assert (move_to[u * stride + p], move_in[u * stride + p]) == tree.move(u, p)
+
+
+def test_flat_move_tables_cached_per_object():
+    t = line(6)
+    assert t.flat_move_tables() is t.flat_move_tables()
+
+
+def test_with_ports_gets_fresh_tables():
+    t = line(4)
+    _ = t.flat_move_tables()
+    flipped = t.with_ports([[0], [1, 0], [1, 0], [0]])
+    stride, deg, move_to, move_in = flipped.flat_move_tables()
+    for u in range(flipped.n):
+        for p in range(flipped.degree(u)):
+            assert (move_to[u * stride + p], move_in[u * stride + p]) == flipped.move(u, p)
+    # the relabeled interior nodes really do differ from the original
+    assert flipped.move(1, 0) != t.move(1, 0)
+
+
+def test_single_node_tree():
+    from repro.trees import Tree
+
+    t = Tree([[]])
+    stride, deg, move_to, move_in = t.flat_move_tables()
+    assert deg == (0,)
+    assert stride == 0
