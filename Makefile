@@ -1,6 +1,6 @@
 PY := PYTHONPATH=src python
 
-.PHONY: test bench-smoke bench-engine
+.PHONY: test bench-smoke bench-engine scenarios-smoke bench-scenarios
 
 test:
 	$(PY) -m pytest -x -q
@@ -12,3 +12,11 @@ bench-smoke:
 # Full-size engine-backend benchmark (the numbers quoted in the README).
 bench-engine:
 	$(PY) benchmarks/bench_engine.py
+
+# Quick pass over the scenario registry (the experiment tables, small grids).
+scenarios-smoke:
+	$(PY) -m repro experiments --quick
+
+# Regenerate every benchmark's JSON result under benchmarks/results/.
+bench-scenarios:
+	$(PY) -m pytest benchmarks/ -q

@@ -1,9 +1,12 @@
-"""Shared helpers for the benchmark harness.
+"""Shared harness for the benchmark scripts.
 
-Every benchmark regenerates one of the paper's quantitative artifacts
-(EXPERIMENTS.md E1-E8) and records the produced table under
-``benchmarks/results/`` so the run leaves an inspectable trace regardless
-of pytest's capture settings.
+Every benchmark regenerates one of the paper's quantitative artifacts by
+running a *registered scenario* (:mod:`repro.scenarios`) and persisting
+the structured, schema-validated JSON result under
+``benchmarks/results/`` (the ad-hoc ``.txt`` tables this directory used
+to accumulate are gone).  A checked-in golden sample lives under
+``benchmarks/results/golden/`` and is enforced by
+``tests/scenarios/test_scenario_store.py``.
 """
 
 from __future__ import annotations
@@ -15,12 +18,35 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 REPO_ROOT = pathlib.Path(__file__).parent.parent
 
 
-def record(name: str, text: str) -> None:
-    """Print a result table and persist it to benchmarks/results/<name>.txt."""
-    RESULTS_DIR.mkdir(exist_ok=True)
-    banner = f"==== {name} ===="
-    print(f"\n{banner}\n{text}\n")
-    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+def run_scenario(
+    name: str,
+    benchmark=None,
+    *,
+    out_dir: pathlib.Path | None = None,
+    backend: str | None = None,
+    **overrides,
+):
+    """Run a registered scenario and persist its JSON result.
+
+    ``benchmark`` is the pytest-benchmark fixture (optional, so the
+    scripts also run as plain functions); ``overrides`` are forwarded to
+    :meth:`repro.scenarios.Runner.run` (``params=...``, ``seed=...``).
+    Returns the :class:`repro.scenarios.ScenarioResult`.
+    """
+    from repro.scenarios import ResultStore, Runner
+
+    runner = Runner(backend=backend)
+
+    def once():
+        return runner.run(name, **overrides)
+
+    if benchmark is not None:
+        result = benchmark.pedantic(once, rounds=1, iterations=1)
+    else:
+        result = once()
+    path = ResultStore(out_dir or RESULTS_DIR).save(result)
+    print(f"\n==== {name} ====\n{result.table()}\n-> {path}\n")
+    return result
 
 
 def record_json(name: str, payload: dict, directory: pathlib.Path | None = None) -> pathlib.Path:

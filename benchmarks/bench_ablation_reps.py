@@ -7,47 +7,12 @@ paper's 5 is safely sufficient on the stress family, and (b) how meeting
 time scales with the factor.
 """
 
-import random
-
-from _util import record
-
-from repro.core import rendezvous_agent
-from repro.sim import run_rendezvous
-from repro.trees import line, perfectly_symmetrizable, random_relabel
+from _util import run_scenario
 
 
 def test_reps_factor_ablation(benchmark):
-    def sweep():
-        rng = random.Random(9)
-        trees = [random_relabel(line(m), rng) for m in (9, 13)]
-        rows = []
-        for factor in (1, 2, 5, 8):
-            met = 0
-            runs = 0
-            worst = 0
-            for tree in trees:
-                for u, v in [(0, 3), (1, 5), (2, tree.n - 1)]:
-                    if perfectly_symmetrizable(tree, u, v):
-                        continue
-                    runs += 1
-                    out = run_rendezvous(
-                        tree,
-                        rendezvous_agent(reps_factor=factor, max_outer=10),
-                        u,
-                        v,
-                        max_rounds=3_000_000,
-                    )
-                    met += out.met
-                    worst = max(worst, out.meeting_round or 0)
-            rows.append((factor, met, runs, worst))
-        return rows
-
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    header = f"{'reps factor':>12} {'met':>4} {'runs':>5} {'worst round':>12}"
-    text = header + "\n" + "\n".join(
-        f"{f:>12} {m:>4} {r:>5} {w:>12}" for f, m, r, w in rows
-    )
-    record("ABL_reps_factor", text)
+    result = run_scenario("ablation-reps", benchmark)
     # the paper's factor 5 must succeed everywhere on this family
-    paper = next(row for row in rows if row[0] == 5)
-    assert paper[1] == paper[2]
+    assert result.ok
+    paper = next(row for row in result.rows if row["factor"] == 5)
+    assert paper["met"] == paper["runs"]

@@ -6,35 +6,12 @@ instance and reports meeting rounds — they grow additively in θ (the
 sleeping phase) plus a bounded label-multiplexing tail, never diverging.
 """
 
-from _util import record
-
-from repro.core import baseline_agent
-from repro.sim import run_rendezvous
-from repro.trees import edge_colored_line
+from _util import run_scenario
 
 
 def test_baseline_delay_sweep(benchmark):
-    t = edge_colored_line(16)
-    u, v = 1, 10
-
-    def sweep():
-        rows = []
-        for delay in (0, 1, 7, 31, 127, 511):
-            for delayed in (1, 2):
-                out = run_rendezvous(
-                    t, baseline_agent(), u, v,
-                    delay=delay, delayed=delayed, max_rounds=200_000,
-                )
-                assert out.met, (delay, delayed)
-                rows.append((delay, delayed, out.meeting_round))
-        return rows
-
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    header = f"{'delay':>7} {'delayed':>8} {'meeting round':>14}"
-    text = header + "\n" + "\n".join(
-        f"{d:>7} {a:>8} {r:>14}" for d, a, r in rows
-    )
-    record("E7b_baseline_delays", text)
+    result = run_scenario("baseline-delays", benchmark)
+    assert result.ok
     # meeting time grows at most ~linearly in the delay
-    by_delay = {d: r for d, a, r in rows if a == 2}
+    by_delay = {r["delay"]: r["round"] for r in result.rows if r["delayed"] == 2}
     assert by_delay[511] <= by_delay[0] + 511 + 40_000

@@ -3,74 +3,15 @@
 Explo must return the tree size, the center classification, and the
 basic-walk step counts — in exactly 2(n-1) rounds from any branching start.
 This bench measures the cost curve and cross-checks outputs against ground
-truth on random trees.
+truth on random trees (the ground-truth comparison lives in the
+``explo_cost`` executor).
 """
 
-import random
-
-from _util import record
-
-from repro.agents import NULL_PORT, Ctx, Registers
-from repro.core import explo_bis_routine
-from repro.trees import (
-    contract,
-    find_center,
-    port_preserving_automorphism,
-    random_relabel,
-    random_tree,
-)
-
-
-def _run_explo(tree, start):
-    ctx = Ctx(NULL_PORT, tree.degree(start))
-    regs = Registers()
-    gen = explo_bis_routine(ctx, regs)
-    pos = start
-    rounds = 0
-    try:
-        action = next(gen)
-        while True:
-            if action == -1:
-                obs = (NULL_PORT, tree.degree(pos))
-            else:
-                pos, in_port = tree.move(pos, action % tree.degree(pos))
-                obs = (in_port, tree.degree(pos))
-            rounds += 1
-            action = gen.send(obs)
-    except StopIteration as stop:
-        return stop.value, rounds
+from _util import run_scenario
 
 
 def test_explo_cost_and_correctness(benchmark):
-    def sweep():
-        rng = random.Random(3)
-        rows = []
-        for n in (10, 20, 40, 80, 160):
-            tree = random_relabel(random_tree(n, rng), rng)
-            start = next(v for v in range(tree.n) if tree.degree(v) != 2)
-            result, rounds = _run_explo(tree, start)
-            # ground truth checks
-            tprime = contract(tree).contracted
-            center = find_center(tprime)
-            expected = (
-                "central_node"
-                if center.is_node
-                else (
-                    "central_edge_symmetric"
-                    if port_preserving_automorphism(tprime) is not None
-                    else "central_edge_asymmetric"
-                )
-            )
-            assert result.kind == expected
-            assert result.n == tree.n
-            rows.append((n, rounds, 2 * (n - 1), result.nu, result.kind))
-        return rows
-
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    header = f"{'n':>5} {'rounds':>7} {'2(n-1)':>7} {'nu':>4} kind"
-    text = header + "\n" + "\n".join(
-        f"{n:>5} {r:>7} {e:>7} {nu:>4} {k}" for n, r, e, nu, k in rows
-    )
-    record("E8_explo", text)
-    for n, rounds, expected, _nu, _k in rows:
-        assert rounds == expected
+    result = run_scenario("explo-cost", benchmark)
+    assert result.ok
+    for row in result.rows:
+        assert row["rounds"] == row["expected"], row

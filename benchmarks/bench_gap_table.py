@@ -11,25 +11,13 @@ For polylog-leaf trees this is an exponential separation between the two
 scenarios' memory requirements, the paper's title claim.
 """
 
-from _util import record
-
-from repro.analysis import format_gap_table, gap_table
+from _util import run_scenario
 
 
 def test_gap_table(benchmark):
-    rows = benchmark.pedantic(
-        gap_table, kwargs={"subdivisions": (0, 1, 3, 7, 15, 31)},
-        rounds=1, iterations=1,
-    )
-    text = format_gap_table(rows)
-    delay0 = [r.delay0_bits for r in rows]
-    arb = [r.arbitrary_bits for r in rows]
-    text += (
-        "\n\nshape check: delay-0 bits flat in n "
-        f"(range {min(delay0)}..{max(delay0)}), "
-        f"arbitrary-delay bits grow with log n ({arb[0]} -> {arb[-1]})"
-    )
-    record("E7_gap_table", text)
-    assert all(r.delay0_met and r.arbitrary_met for r in rows)
+    result = run_scenario("gap-table", benchmark)
+    assert result.ok
+    delay0 = [r["delay0_bits"] for r in result.rows]
+    arb = [r["arbitrary_bits"] for r in result.rows]
     assert max(delay0) - min(delay0) <= 4
     assert arb == sorted(arb) and arb[-1] > arb[0]

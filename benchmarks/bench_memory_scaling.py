@@ -8,34 +8,16 @@ Two curves:
   (a constant increment per doubling of ℓ).
 """
 
-from _util import record
-
-from repro.analysis import memory_vs_leaves, memory_vs_n_fixed_leaves
+from _util import run_scenario
 
 
 def test_memory_flat_in_n(benchmark):
-    series, points = benchmark.pedantic(
-        memory_vs_n_fixed_leaves,
-        kwargs={"subdivisions": (0, 1, 3, 7, 15, 31)},
-        rounds=1,
-        iterations=1,
-    )
-    text = series.table("n (ℓ = 4 fixed)", "declared bits")
-    record("E3a_memory_vs_n", text)
-    assert all(p.met for p in points)
-    assert max(series.ys) - min(series.ys) <= 4
+    result = run_scenario("memory-vs-n", benchmark)
+    assert result.ok
+    assert result.summary["bits_spread"] <= 4
 
 
 def test_memory_log_in_leaves(benchmark):
-    series, points = benchmark.pedantic(
-        memory_vs_leaves,
-        kwargs={"leaf_counts": (4, 8, 16, 32), "total_nodes": 120},
-        rounds=1,
-        iterations=1,
-    )
-    text = series.table("leaves (n ~ fixed)", "declared bits")
-    diffs = [b - a for a, b in zip(series.ys, series.ys[1:])]
-    text += f"\nincrement per doubling of ℓ: {diffs}"
-    record("E3b_memory_vs_leaves", text)
-    assert all(p.met for p in points)
-    assert all(d > 0 for d in diffs)
+    result = run_scenario("memory-vs-leaves", benchmark)
+    assert result.ok
+    assert all(row["met"] for row in result.rows)

@@ -6,39 +6,11 @@ reports original vs minimal states — the counting walkers must be (nearly)
 incompressible, or E1's x-axis would be inflated.
 """
 
-from _util import record
-
-from repro.agents import (
-    alternator,
-    compile_walker,
-    counting_walker,
-    minimize_line_automaton,
-    pausing_walker,
-)
+from _util import run_scenario
 
 
 def test_victims_are_near_minimal(benchmark):
-    def sweep():
-        rows = []
-        victims = [
-            ("alternator", alternator()),
-            ("pausing(2)", pausing_walker(2)),
-            ("pausing(3)", pausing_walker(3)),
-            ("counting(2)", counting_walker(2)),
-            ("counting(3)", counting_walker(3)),
-            ("dsl F3 B1", compile_walker("F3 B1")),
-            ("dsl F5 P2 B1", compile_walker("F5 P2 B1")),
-        ]
-        for name, agent in victims:
-            res = minimize_line_automaton(agent)
-            rows.append((name, res.original_states, res.minimal_states))
-        return rows
-
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    header = f"{'agent':>14} {'states':>7} {'minimal':>8}"
-    text = header + "\n" + "\n".join(
-        f"{n:>14} {o:>7} {m:>8}" for n, o, m in rows
-    )
-    record("HON_minimization", text)
-    for name, original, minimal in rows:
-        assert minimal >= original // 2, (name, original, minimal)
+    result = run_scenario("minimization", benchmark)
+    assert result.ok
+    for row in result.rows:
+        assert row["minimal"] >= row["states"] // 2, row

@@ -5,26 +5,13 @@ polynomially in the path length m while the *memory* (largest prime used)
 grows like log m — the O(log log m) bits claim.
 """
 
-from _util import record
-
-from repro.analysis import fit_loglog_slope, prime_rounds_vs_path_length
-from repro.core import prime_line_agent
-from repro.sim import run_rendezvous
-from repro.trees import line
+from _util import run_scenario
 
 
 def test_prime_rounds_curve(benchmark):
-    series = benchmark.pedantic(
-        prime_rounds_vs_path_length,
-        kwargs={"lengths": (5, 9, 17, 33, 65)},
-        rounds=1,
-        iterations=1,
-    )
-    slope = fit_loglog_slope(series.xs, series.ys)
-    text = series.table("path nodes m", "meeting round")
-    text += f"\nlog-log slope: {slope:.2f} (polynomial, not exponential)"
-    record("E4_prime_rounds", text)
-    assert 0.5 < slope < 3.5
+    result = run_scenario("prime-rounds", benchmark)
+    assert result.ok
+    assert 0.5 < result.summary["loglog_slope"] < 3.5
 
 
 def test_prime_memory_growth(benchmark):
@@ -33,31 +20,10 @@ def test_prime_memory_growth(benchmark):
     Easy pairs meet at p = 2; the hard instances are *near-mirror* pairs on
     the mirror-symmetric labeling, where the executions stay almost
     symmetric and only the prime mechanism can break the deadlock.  The
-    pairs below are the worst cases found by an offset search over each
-    line (see DESIGN.md, E4).
+    instance list in the registry spec records the worst cases found by an
+    offset search over each line (see DESIGN.md, E4).
     """
-    from repro.trees import thm31_line_labeling
-
-    hard = [(20, 0, 15), (32, 0, 19), (92, 0, 31), (122, 1, 60)]
-
-    def sweep():
-        rows = []
-        for m, a, b in hard:
-            t = thm31_line_labeling(m)
-            out = run_rendezvous(
-                t, prime_line_agent(), a, b, max_rounds=30_000_000
-            )
-            assert out.met, (m, a, b)
-            report = out.agents[0].registers.report()
-            rows.append((m, a, b, report["prime_p"][1], out.meeting_round))
-        return rows
-
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    text = (
-        f"{'m':>6} {'a':>4} {'b':>4} {'max prime':>10} {'round':>8}\n"
-        + "\n".join(f"{m:>6} {a:>4} {b:>4} {p:>10} {r:>8}" for m, a, b, p, r in rows)
-    )
-    record("E4_prime_memory", text)
-    primes = [p for *_, p, _r in rows]
-    # worst-case prime grows with m (log-ish), stays tiny in absolute terms
+    result = run_scenario("prime-memory", benchmark)
+    assert result.ok
+    primes = [row["max_prime"] for row in result.rows]
     assert primes[0] < primes[-1] <= 31

@@ -7,37 +7,19 @@ agent's memory bits, i.e. rendezvous with arbitrary delay on n-node lines
 needs Ω(log n) bits.
 """
 
-import random
-
-from _util import record
-
-from repro.agents import random_line_automaton
-from repro.analysis import growth_ratios, thm31_size_vs_bits
-from repro.lowerbounds import build_thm31_instance
+from _util import run_scenario
 
 
 def test_thm31_counting_walker_curve(benchmark):
-    series = benchmark.pedantic(
-        thm31_size_vs_bits, args=((1, 2, 3, 4, 5),), rounds=1, iterations=1
+    result = run_scenario(
+        "thm31-sweep", benchmark, params={"ks": [1, 2, 3, 4, 5]}
     )
-    lines = [series.table("memory bits", "defeating line edges")]
-    lines.append(f"growth ratios: {[round(r, 2) for r in growth_ratios(series.ys)]}")
-    record("E1_thm31_counting_walkers", "\n".join(lines))
-    assert all(r > 1.3 for r in growth_ratios(series.ys))
+    assert result.ok
+    assert all(r > 1.3 for r in result.summary["growth_ratios"])
 
 
 def test_thm31_random_agents(benchmark):
-    def sweep():
-        rng = random.Random(0)
-        rows = []
-        for k in (2, 4, 8, 16):
-            inst = build_thm31_instance(random_line_automaton(k, rng))
-            rows.append((inst.memory_bits, inst.line_edges, inst.kind, inst.delay))
-        return rows
-
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    text = f"{'bits':>5} {'edges':>6} {'kind':>9} {'delay':>6}\n" + "\n".join(
-        f"{b:>5} {e:>6} {k:>9} {d:>6}" for b, e, k, d in rows
-    )
-    record("E1_thm31_random_agents", text)
-    assert len(rows) == 4
+    result = run_scenario("thm31-random", benchmark)
+    assert result.ok
+    assert len(result.rows) == 4
+    assert all(row["certified"] for row in result.rows)

@@ -6,50 +6,11 @@ paper discusses — lines (symmetric contraction), complete binary and
 binomial trees (topologically symmetric leaf pairs), and random trees.
 """
 
-import random
-
-from _util import record
-
-from repro.analysis import success_sweep
-from repro.trees import (
-    binomial_tree,
-    complete_binary_tree,
-    line,
-    random_relabel,
-    random_tree,
-    subdivide,
-)
-
-
-def _families():
-    rng = random.Random(17)
-    return {
-        "lines": [random_relabel(line(m), rng) for m in (7, 12, 21)],
-        "binary": [random_relabel(complete_binary_tree(h), rng) for h in (2, 3)],
-        "binomial": [random_relabel(binomial_tree(k), rng) for k in (3, 4)],
-        "random": [random_relabel(random_tree(20, rng), rng) for _ in range(3)],
-        "subdivided": [
-            random_relabel(subdivide(complete_binary_tree(2), t), rng)
-            for t in (3, 6)
-        ],
-    }
+from _util import run_scenario
 
 
 def test_thm41_success_rates(benchmark):
-    def sweep():
-        out = {}
-        for name, trees in _families().items():
-            points = success_sweep(trees, pairs_per_tree=3)
-            out[name] = points
-        return out
-
-    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    lines_out = [f"{'family':>12} {'runs':>5} {'met':>5} {'max round':>10}"]
-    all_ok = True
-    for name, points in results.items():
-        met = sum(p.met for p in points)
-        all_ok &= met == len(points)
-        worst = max((p.meeting_round for p in points), default=0)
-        lines_out.append(f"{name:>12} {len(points):>5} {met:>5} {worst:>10}")
-    record("E2_thm41_success", "\n".join(lines_out))
-    assert all_ok
+    result = run_scenario("success-families", benchmark)
+    assert result.ok
+    for row in result.rows:
+        assert row["met"] == row["runs"], row

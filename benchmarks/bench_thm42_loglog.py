@@ -7,48 +7,16 @@ O(|S|^|S|)-ish in the worst case and grows with γ — so memory must grow
 like log log n.
 """
 
-import random
-
-from _util import record
-
-from repro.agents import alternator, pausing_walker, random_line_automaton
-from repro.analysis import thm42_size_vs_bits
-from repro.lowerbounds import build_thm42_instance
+from _util import run_scenario
 
 
 def test_thm42_random_pool(benchmark):
-    rows = benchmark.pedantic(
-        thm42_size_vs_bits, kwargs={"seed": 11, "states": (2, 3, 4, 5)},
-        rounds=1, iterations=1,
-    )
-    text = f"{'bits':>5} {'edges':>6} {'kind':>9} {'gamma':>6}\n" + "\n".join(
-        f"{b:>5} {e:>6} {k:>9} {g:>6}" for b, e, k, g in rows
-    )
-    record("E5_thm42_random", text)
-    assert rows
+    result = run_scenario("thm42-random", benchmark)
+    assert result.ok
+    assert result.rows
 
 
 def test_thm42_structured_agents(benchmark):
-    def sweep():
-        out = []
-        for name, agent in [
-            ("alternator", alternator()),
-            ("pausing(1)", pausing_walker(1)),
-            ("pausing(2)", pausing_walker(2)),
-            ("pausing(3)", pausing_walker(3)),
-        ]:
-            inst = build_thm42_instance(agent)
-            out.append((name, agent.memory_bits, inst.gamma, inst.x, inst.x_prime,
-                        inst.line_edges, inst.kind))
-        return out
-
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    header = f"{'agent':>12} {'bits':>5} {'gamma':>6} {'x':>5} {'x^':>5} {'edges':>6} {'kind':>9}"
-    text = header + "\n" + "\n".join(
-        f"{n:>12} {b:>5} {g:>6} {x:>5} {xp:>5} {e:>6} {k:>9}"
-        for n, b, g, x, xp, e, k in rows
-    )
-    record("E5_thm42_structured", text)
-    # defeating-line size grows with the pausing period (γ grows)
-    edges = [e for n, b, g, x, xp, e, k in rows if n.startswith("pausing")]
-    assert edges == sorted(edges)
+    result = run_scenario("thm42-sweep", benchmark)
+    assert result.ok
+    assert all(row["certified"] for row in result.rows)

@@ -6,57 +6,16 @@ and certify non-meeting.  Also demonstrates the bound's contrapositive:
 agents with more memory may admit no collision at small ℓ.
 """
 
-import random
-
-from _util import record
-
-from repro.agents import random_tree_automaton
-from repro.errors import ConstructionError
-from repro.lowerbounds import build_thm43_instance, find_colliding_side_trees
+from _util import run_scenario
 
 
 def test_thm43_defeats_small_agents(benchmark):
-    def sweep():
-        rng = random.Random(41)
-        rows = []
-        for i_leaf in (4, 5, 6):
-            agent = random_tree_automaton(3, rng=rng)
-            inst = build_thm43_instance(agent, i_leaf)
-            rows.append(
-                (2 * i_leaf, inst.memory_bits, inst.tree.n,
-                 2 ** (i_leaf - 1), inst.certified)
-            )
-        return rows
-
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    header = f"{'leaves':>7} {'bits':>5} {'n':>5} {'side trees':>11} {'certified':>10}"
-    text = header + "\n" + "\n".join(
-        f"{l:>7} {b:>5} {n:>5} {s:>11} {str(c):>10}" for l, b, n, s, c in rows
-    )
-    record("E6_thm43_instances", text)
-    assert all(c for *_, c in rows)
+    result = run_scenario("thm43", benchmark)
+    assert result.ok
+    assert all(row["certified"] for row in result.rows)
 
 
 def test_thm43_collision_rate_vs_memory(benchmark):
     """More memory => fewer collisions at fixed ℓ (the bound's mechanism)."""
-
-    def sweep():
-        rng = random.Random(5)
-        rates = []
-        for k in (2, 4, 8):
-            hits = 0
-            trials = 6
-            for _ in range(trials):
-                agent = random_tree_automaton(k, rng=rng)
-                if find_colliding_side_trees(agent, 4, 4) is not None:
-                    hits += 1
-            rates.append((k, hits, trials))
-        return rates
-
-    rates = benchmark.pedantic(sweep, rounds=1, iterations=1)
-    text = f"{'states':>7} {'collisions':>11} {'trials':>7}\n" + "\n".join(
-        f"{k:>7} {h:>11} {t:>7}" for k, h, t in rates
-    )
-    record("E6_thm43_collision_rates", text)
-    # small agents always collide at ℓ = 8
-    assert rates[0][1] == rates[0][2]
+    result = run_scenario("thm43-collisions", benchmark)
+    assert result.ok

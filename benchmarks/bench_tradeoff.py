@@ -4,23 +4,10 @@ Sweeps the Theorem 4.1 agent's knobs and reports worst/mean meeting rounds
 on the stress family (lines: symmetric contraction, full Stage-2 machinery).
 """
 
-from _util import record
-
-from repro.analysis import reps_factor_tradeoff, stress_instances
+from _util import run_scenario
 
 
 def test_reps_factor_time_curve(benchmark):
-    pool = stress_instances(sizes=(9, 13, 17), pairs_per_tree=3)
-    rows = benchmark.pedantic(
-        reps_factor_tradeoff,
-        kwargs={"factors": (1, 2, 5, 8), "instances": pool},
-        rounds=1,
-        iterations=1,
-    )
-    header = f"{'reps factor':>12} {'met/runs':>9} {'worst':>8} {'mean':>10}"
-    text = header + "\n" + "\n".join(
-        f"{r.knob:>12} {r.met}/{r.runs:>6} {r.worst_round:>8} {r.mean_round:>10.1f}"
-        for r in rows
-    )
-    record("TRD_reps_factor_time", text)
-    assert all(r.success_rate == 1.0 for r in rows)
+    result = run_scenario("tradeoff-reps", benchmark)
+    assert result.ok
+    assert all(row["met"] == row["runs"] for row in result.rows)

@@ -15,7 +15,9 @@ Public API layout
 - :mod:`repro.lowerbounds` — the three constructive adversaries
   (Theorems 3.1, 4.2, 4.3);
 - :mod:`repro.analysis` — feasibility classification and the
-  exponential-gap experiment drivers.
+  exponential-gap experiment drivers;
+- :mod:`repro.scenarios` — the declarative scenario subsystem: named
+  specs, pluggable simulation backends, structured JSON results.
 
 Quick start
 -----------

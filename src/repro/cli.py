@@ -15,6 +15,14 @@ gather       gather k identical agents (the extension of §1.3)
 viz          render a tree as ASCII art or Graphviz DOT
 report       regenerate the experiment report as markdown
 experiments  run every experiment table (E1-E8) and print them
+scenarios    list / run / diff declarative scenarios (the registry)
+
+The experiment-shaped commands (``delays``, ``atlas``, ``gap``,
+``thm31``, ``thm42``, ``thm43``, ``verify``, ``experiments``) are
+aliases over the scenario registry (:mod:`repro.scenarios`): they build
+or fetch a :class:`~repro.scenarios.spec.ScenarioSpec` and execute it
+through the shared :class:`~repro.scenarios.runner.Runner`, so the CLI,
+the benchmarks and programmatic callers all run the same code path.
 """
 
 from __future__ import annotations
@@ -25,46 +33,25 @@ import sys
 from collections.abc import Sequence
 from typing import Optional
 
-from .trees import (
-    Tree,
-    binomial_tree,
-    complete_binary_tree,
-    line,
-    random_relabel,
-    random_tree,
-    spider,
-    star,
-    subdivide,
-)
+from .scenarios.spec import ScenarioError
+from .scenarios.spec import build_tree as _build_tree
+from .trees import Tree, random_relabel
 
 __all__ = ["main", "build_tree"]
 
 
 def build_tree(spec: str, seed: int = 0) -> Tree:
-    """Parse a tree spec: ``line:9``, ``colored:9`` (2-edge-colored line),
-    ``star:5``, ``binary:3``, ``binomial:4``, ``spider:2,3,4``,
-    ``random:20``, ``subdivided:3`` (binary(2) base)."""
-    kind, _, arg = spec.partition(":")
-    rng = random.Random(seed)
-    if kind == "line":
-        return line(int(arg))
-    if kind == "colored":
-        from .trees import edge_colored_line
+    """Parse a tree spec (see :func:`repro.scenarios.spec.build_tree`)."""
+    try:
+        return _build_tree(spec, seed)
+    except ScenarioError as exc:
+        raise SystemExit(str(exc))
 
-        return edge_colored_line(int(arg))
-    if kind == "star":
-        return star(int(arg))
-    if kind == "binary":
-        return complete_binary_tree(int(arg))
-    if kind == "binomial":
-        return binomial_tree(int(arg))
-    if kind == "spider":
-        return spider([int(x) for x in arg.split(",")])
-    if kind == "random":
-        return random_tree(int(arg), rng)
-    if kind == "subdivided":
-        return subdivide(complete_binary_tree(2), int(arg))
-    raise SystemExit(f"unknown tree spec {spec!r}")
+
+def _runner(args: argparse.Namespace):
+    from .scenarios import Runner
+
+    return Runner(backend=getattr(args, "backend", None))
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
@@ -101,139 +88,95 @@ def _cmd_baseline(args: argparse.Namespace) -> int:
     return 0 if result.met else 2
 
 
-def _build_cli_automaton(spec: str, seed: int):
-    """Parse an automaton spec: ``alternator``, ``counting:3``,
-    ``pausing:2``, ``random:4`` (random line automaton)."""
-    from .agents import alternator, counting_walker, pausing_walker
-    from .agents.automaton import random_line_automaton
-
-    kind, _, arg = spec.partition(":")
-    if kind == "alternator":
-        return alternator()
-    if kind == "counting":
-        return counting_walker(int(arg))
-    if kind == "pausing":
-        return pausing_walker(int(arg))
-    if kind == "random":
-        return random_line_automaton(int(arg), random.Random(seed))
-    raise SystemExit(f"unknown agent spec {spec!r}")
-
-
 def _cmd_delays(args: argparse.Namespace) -> int:
-    from .sim import solve_all_delays
+    from .scenarios import DelayPolicy, ScenarioSpec
 
-    tree = build_tree(args.tree, args.seed)
-    if args.relabel:
-        tree = random_relabel(tree, random.Random(args.seed))
-    agent = _build_cli_automaton(args.agent, args.seed)
-    verdicts = solve_all_delays(
-        tree, agent, args.u, args.v, max_delay=args.max_delay
+    spec = ScenarioSpec(
+        name="delays-cli",
+        kind="delay_sweep",
+        tree=args.tree,
+        agent=args.agent,
+        pairs=((args.u, args.v),),
+        delays=DelayPolicy.sweep(args.max_delay),
+        seed=args.seed,
+        params={"relabel": args.relabel},
     )
-    met = sum(dv.met for dv in verdicts)
+    result = _runner(args).run(spec)
+    met = result.summary["met"]
+    tree = build_tree(args.tree, args.seed)
     print(
         f"{tree}; agent {args.agent}; pair ({args.u}, {args.v}); "
-        f"θ = 0..{args.max_delay} ({len(verdicts)} adversary choices, "
-        f"{met} met / {len(verdicts) - met} certified-never)"
+        f"θ = 0..{args.max_delay} ({len(result.rows)} adversary choices, "
+        f"{met} met / {len(result.rows) - met} certified-never)"
     )
     print(f"{'delay':>7} {'delayed':>8} {'verdict':>16} {'round':>7}")
-    for dv in verdicts:
-        verdict = "met" if dv.met else "certified-never"
-        rnd = dv.meeting_round if dv.met else "-"
-        print(f"{dv.delay:>7} {dv.delayed:>8} {verdict:>16} {rnd:>7}")
-    return 0 if met == len(verdicts) else 2
+    for row in result.rows:
+        rnd = row["round"] if row["round"] is not None else "-"
+        print(f"{row['delay']:>7} {row['delayed']:>8} {row['verdict']:>16} {rnd:>7}")
+    return 0 if result.summary["all_met"] else 2
 
 
 def _cmd_atlas(args: argparse.Namespace) -> int:
-    from .analysis import summarize_tree
-    from .trees import all_trees
-
-    print(f"{'tree#':>6} {'leaves':>6} {'center':>7} {'infeas':>7} "
-          f"{'sym-feas':>9} {'asym':>6}")
-    for idx, t in enumerate(all_trees(args.n)):
-        s = summarize_tree(t)
-        print(
-            f"{idx:>6} {s.leaves:>6} {s.center_kind:>7} "
-            f"{s.pairs_perfectly_symmetrizable:>7} "
-            f"{s.pairs_symmetric_feasible:>9} {s.pairs_asymmetric:>6}"
-        )
+    result = _runner(args).run("atlas", params={"n": args.n})
+    print(result.table())
     return 0
 
 
 def _cmd_gap(args: argparse.Namespace) -> int:
-    from .analysis import format_gap_table, gap_table
-
-    subdivisions = tuple(int(x) for x in args.subdivisions.split(","))
-    print(format_gap_table(gap_table(subdivisions=subdivisions)))
-    return 0
+    subdivisions = [int(x) for x in args.subdivisions.split(",")]
+    result = _runner(args).run("gap-table", params={"subdivisions": subdivisions})
+    print(result.table())
+    return 0 if result.ok else 1
 
 
 def _cmd_thm31(args: argparse.Namespace) -> int:
-    from .agents import counting_walker
-    from .lowerbounds import build_thm31_instance
-
-    print(f"{'bits':>5} {'edges':>6} {'kind':>9} {'delay':>6} {'certified':>10}")
-    for k in range(1, args.max_k + 1):
-        agent = counting_walker(k)
-        inst = build_thm31_instance(agent)
-        print(
-            f"{agent.memory_bits:>5} {inst.line_edges:>6} {inst.kind:>9} "
-            f"{inst.delay:>6} {str(inst.certified):>10}"
-        )
-    return 0
+    result = _runner(args).run(
+        "thm31-sweep", params={"ks": list(range(1, args.max_k + 1))}
+    )
+    print(result.table())
+    return 0 if result.ok else 1
 
 
 def _cmd_thm42(args: argparse.Namespace) -> int:
-    from .agents import alternator, pausing_walker
-    from .lowerbounds import build_thm42_instance
-
-    agents = [("alternator", alternator())] + [
-        (f"pausing({p})", pausing_walker(p)) for p in range(1, args.max_pause + 1)
-    ]
-    print(f"{'agent':>12} {'bits':>5} {'gamma':>6} {'edges':>6} {'certified':>10}")
-    for name, agent in agents:
-        inst = build_thm42_instance(agent)
-        print(
-            f"{name:>12} {agent.memory_bits:>5} {inst.gamma:>6} "
-            f"{inst.line_edges:>6} {str(inst.certified):>10}"
-        )
-    return 0
+    result = _runner(args).run(
+        "thm42-sweep", params={"max_pause": args.max_pause}
+    )
+    print(result.table())
+    return 0 if result.ok else 1
 
 
 def _cmd_thm43(args: argparse.Namespace) -> int:
-    from .agents import random_tree_automaton
-    from .errors import ConstructionError
-    from .lowerbounds import build_thm43_instance
-
-    rng = random.Random(args.seed)
-    agent = random_tree_automaton(args.states, rng=rng)
-    try:
-        inst = build_thm43_instance(agent, args.i)
-    except ConstructionError as exc:
-        print(f"no defeating instance: {exc}")
+    result = _runner(args).run(
+        "thm43",
+        seed=args.seed,
+        params={"states": args.states, "i_leaves": [args.i]},
+    )
+    (row,) = result.rows
+    if row.get("error"):
+        print(f"no defeating instance: {row['error']}")
         return 1
     print(
-        f"agent: {agent.num_states} states; ℓ = {inst.ell}; "
-        f"two-sided tree n = {inst.tree.n}; certified = {inst.certified}"
+        f"agent: {row['states']} states; ℓ = {row['ell']}; "
+        f"two-sided tree n = {row['n']}; certified = {row['certified']}"
     )
-    print(f"side 1 choices: {inst.side1.choices}")
-    print(f"side 2 choices: {inst.side2.choices}")
-    return 0
+    print(f"side 1 choices: {row['side1']}")
+    print(f"side 2 choices: {row['side2']}")
+    return 0 if result.ok else 1
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
-    from .analysis import verify_fact_11_impossibility, verify_theorem_41
-
     print(f"Theorem 4.1 exhaustive check up to n = {args.n} ...")
-    rep = verify_theorem_41(max_n=args.n, random_labelings=args.labelings)
-    print(f"  trees: {rep.trees_checked}, instances: {rep.instances}, "
-          f"failures: {len(rep.failures)}")
-    if not rep.ok:
-        return 1
-    print("Fact 1.1 impossibility check (observational) ...")
-    rep2 = verify_fact_11_impossibility(max_n=min(args.n, 6))
-    print(f"  trees: {rep2.trees_checked}, instances: {rep2.instances}, "
-          f"failures: {len(rep2.failures)}")
-    return 0 if rep2.ok else 1
+    result = _runner(args).run(
+        "verify-small", params={"max_n": args.n, "labelings": args.labelings}
+    )
+    for row in result.rows:
+        if row["check"] == "fact11":
+            print("Fact 1.1 impossibility check (observational) ...")
+        print(f"  trees: {row['trees']}, instances: {row['instances']}, "
+              f"failures: {row['failures']}")
+        if row["check"] == "thm41" and row["failures"]:
+            return 1
+    return 0 if result.ok else 1
 
 
 def _cmd_gather(args: argparse.Namespace) -> int:
@@ -284,26 +227,97 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
-    from .analysis import (
-        format_gap_table,
-        gap_table,
-        memory_vs_leaves,
-        memory_vs_n_fixed_leaves,
-        prime_rounds_vs_path_length,
-        thm31_size_vs_bits,
+    """Run the main experiment tables — registry scenarios end to end."""
+    quick = args.quick
+    plan = [
+        ("E1 Thm 3.1 (defeating size vs bits)", "thm31-sweep",
+         {"ks": [1, 2] if quick else [1, 2, 3, 4]}),
+        ("E3a memory vs n (ℓ = 4)", "memory-vs-n",
+         {"subdivisions": [0, 1] if quick else [0, 1, 3, 7]}),
+        ("E3b memory vs leaves", "memory-vs-leaves",
+         {"leaf_counts": [4, 8] if quick else [4, 8, 16],
+          "total_nodes": 40 if quick else 80}),
+        ("E4 prime rounds", "prime-rounds",
+         {"lengths": [5, 9, 17] if quick else [5, 9, 17, 33]}),
+        ("E7 gap table", "gap-table",
+         {"subdivisions": [0, 1] if quick else [0, 1, 3, 7]}),
+    ]
+    runner = _runner(args)
+    all_ok = True
+    for idx, (title, name, params) in enumerate(plan):
+        result = runner.run(name, params=params)
+        all_ok &= result.ok
+        prefix = "" if idx == 0 else "\n"
+        print(f"{prefix}# {title}")
+        print(result.table())
+    return 0 if all_ok else 1
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from .scenarios import (
+        ResultStore,
+        Runner,
+        get_scenario,
+        scenario_names,
     )
 
-    print("# E1 Thm 3.1 (defeating size vs bits)")
-    print(thm31_size_vs_bits((1, 2, 3, 4)).table("bits", "edges"))
-    print("\n# E3a memory vs n (ℓ = 4)")
-    print(memory_vs_n_fixed_leaves((0, 1, 3, 7))[0].table("n", "bits"))
-    print("\n# E3b memory vs leaves")
-    print(memory_vs_leaves((4, 8, 16), total_nodes=80)[0].table("leaves", "bits"))
-    print("\n# E4 prime rounds")
-    print(prime_rounds_vs_path_length((5, 9, 17, 33)).table("m", "rounds"))
-    print("\n# E7 gap table")
-    print(format_gap_table(gap_table(subdivisions=(0, 1, 3, 7))))
-    return 0
+    if args.scenarios_cmd == "list":
+        names = scenario_names()
+        width = max(len(n) for n in names)
+        kind_w = max(len(get_scenario(n).kind) for n in names)
+        for name in names:
+            spec = get_scenario(name)
+            print(f"{name:<{width}}  {spec.kind:<{kind_w}}  {spec.description}")
+        return 0
+
+    if args.scenarios_cmd == "run":
+        import json as _json
+
+        params = {}
+        for item in args.set or []:
+            key, eq, value = item.partition("=")
+            if not eq or not key:
+                raise SystemExit(f"--set expects KEY=VALUE, got {item!r}")
+            try:
+                params[key] = _json.loads(value)
+            except ValueError:
+                params[key] = value
+        runner = Runner(backend=args.backend, processes=args.processes)
+        result = runner.run(
+            args.name, seed=args.seed, params=params or None
+        )
+        print(result.table())
+        print(
+            f"\nscenario={result.name} kind={result.spec.kind} "
+            f"backend={result.backend} rows={len(result.rows)} "
+            f"ok={result.ok} elapsed={result.elapsed_seconds:.3f}s "
+            f"spec_hash={result.spec_hash()}"
+        )
+        if args.save:
+            path = ResultStore(args.out).save(result)
+            print(f"wrote {path}")
+        return 0 if result.ok else 1
+
+    if args.scenarios_cmd == "diff":
+        store = ResultStore(args.out)
+        diffs = store.diff(args.a, args.b)
+        if not diffs:
+            print("results are equivalent (same spec, same outcome table)")
+            return 0
+        for line in diffs:
+            print(line)
+        return 1
+
+    raise SystemExit(f"unknown scenarios subcommand {args.scenarios_cmd!r}")
+
+
+def _add_backend_option(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--backend",
+        choices=("auto", "reference", "compiled", "batched"),
+        default=None,
+        help="simulation backend (default: the scenario's own hint)",
+    )
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -344,8 +358,11 @@ def _parser() -> argparse.ArgumentParser:
     p.add_argument("--max-delay", type=int, default=16, dest="max_delay")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--relabel", action="store_true")
+    _add_backend_option(p)
     p.set_defaults(fn=_cmd_delays)
 
+    # atlas/gap/verify/experiments run program agents or pure analysis
+    # drivers; they take no --backend since the flag would be a no-op
     p = sub.add_parser("atlas", help="feasibility atlas over all n-node trees")
     p.add_argument("-n", type=int, default=7)
     p.set_defaults(fn=_cmd_atlas)
@@ -356,16 +373,19 @@ def _parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("thm31", help="Theorem 3.1 adversary sweep")
     p.add_argument("--max-k", type=int, default=4, dest="max_k")
+    _add_backend_option(p)
     p.set_defaults(fn=_cmd_thm31)
 
     p = sub.add_parser("thm42", help="Theorem 4.2 adversary sweep")
     p.add_argument("--max-pause", type=int, default=3, dest="max_pause")
+    _add_backend_option(p)
     p.set_defaults(fn=_cmd_thm42)
 
     p = sub.add_parser("thm43", help="Theorem 4.3 adversary")
     p.add_argument("--states", type=int, default=3)
     p.add_argument("-i", type=int, default=5, help="ℓ = 2i leaves")
     p.add_argument("--seed", type=int, default=41)
+    _add_backend_option(p)
     p.set_defaults(fn=_cmd_thm43)
 
     p = sub.add_parser("verify", help="exhaustive Thm 4.1 / Fact 1.1 verification")
@@ -395,14 +415,46 @@ def _parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_report)
 
     p = sub.add_parser("experiments", help="run the main experiment tables")
+    p.add_argument("--quick", action="store_true", help="small grids (smoke)")
     p.set_defaults(fn=_cmd_experiments)
+
+    p = sub.add_parser("scenarios", help="the declarative scenario registry")
+    ssub = p.add_subparsers(dest="scenarios_cmd", required=True)
+
+    sp = ssub.add_parser("list", help="list registered scenarios")
+    sp.set_defaults(fn=_cmd_scenarios)
+
+    sp = ssub.add_parser("run", help="run a registered scenario")
+    sp.add_argument("name")
+    sp.add_argument("--seed", type=int, default=None)
+    sp.add_argument("--set", action="append", metavar="KEY=VALUE",
+                    help="override a spec param (JSON value)")
+    sp.add_argument("--save", action="store_true",
+                    help="persist the JSON result to the result store")
+    sp.add_argument("--out", default="benchmarks/results",
+                    help="result store directory (with --save / diff)")
+    sp.add_argument("--processes", type=int, default=None,
+                    help="process pool size for the batched backend")
+    _add_backend_option(sp)
+    sp.set_defaults(fn=_cmd_scenarios)
+
+    sp = ssub.add_parser("diff", help="diff two stored results")
+    sp.add_argument("a", help="result name or JSON path")
+    sp.add_argument("b", help="result name or JSON path")
+    sp.add_argument("--out", default="benchmarks/results")
+    sp.set_defaults(fn=_cmd_scenarios)
 
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except ScenarioError as exc:
+        # scenario-layer misuse (unknown spec/scenario/backend) is user
+        # error: one clean line, not a traceback
+        raise SystemExit(f"error: {exc}")
 
 
 if __name__ == "__main__":  # pragma: no cover

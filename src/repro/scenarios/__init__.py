@@ -1,0 +1,68 @@
+"""The unified scenario subsystem.
+
+Experiments are *data*: a :class:`ScenarioSpec` (tree family, agent
+family, delay policy, repetitions, seed, backend hint, kind-specific
+params) registered under a name.  The :class:`Runner` executes specs
+through a formal :class:`Backend` protocol — reference oracle, compiled
+tables, or batched multiprocess fan-out, auto-selected per agent via
+``supports_compilation`` — and the :class:`ResultStore` persists
+schema-versioned JSON outcome tables under ``benchmarks/results/``.
+
+Layers routed through here:
+
+- ``repro.cli`` — ``repro scenarios list|run|diff`` plus the theorem
+  subcommands as registry aliases;
+- ``benchmarks/`` — every ``bench_*`` script runs a registry entry
+  through the shared harness in ``benchmarks/_util.py``;
+- future workloads register new specs (and, for new kinds, executors).
+"""
+
+from .backends import (
+    AutoBackend,
+    Backend,
+    BatchedBackend,
+    CompiledBackend,
+    ReferenceBackend,
+    select_backend,
+)
+from .executors import EXECUTORS, execute, executor
+from .registry import all_scenarios, get_scenario, register, scenario_names
+from .runner import SCHEMA, Runner, ScenarioResult, format_rows
+from .spec import (
+    BACKEND_HINTS,
+    DelayPolicy,
+    ScenarioError,
+    ScenarioSpec,
+    build_agent,
+    build_tree,
+)
+from .store import ResultStore, diff_payloads, validate_payload
+
+__all__ = [
+    "ScenarioSpec",
+    "DelayPolicy",
+    "ScenarioError",
+    "BACKEND_HINTS",
+    "build_tree",
+    "build_agent",
+    "Backend",
+    "ReferenceBackend",
+    "CompiledBackend",
+    "BatchedBackend",
+    "AutoBackend",
+    "select_backend",
+    "EXECUTORS",
+    "executor",
+    "execute",
+    "register",
+    "get_scenario",
+    "scenario_names",
+    "all_scenarios",
+    "Runner",
+    "ScenarioResult",
+    "format_rows",
+    "SCHEMA",
+    "ResultStore",
+    "validate_payload",
+    "diff_payloads",
+]

@@ -1,0 +1,220 @@
+"""The formal simulation-backend protocol the scenario runner targets.
+
+Every rendezvous run a scenario performs goes through a :class:`Backend`:
+
+- :class:`ReferenceBackend` — the readable oracle engine
+  (:func:`repro.sim.engine.run_rendezvous`), per-run ``seen``-set
+  certification, per-delay sweeps;
+- :class:`CompiledBackend` — flat-table execution for finite-state
+  agents (:mod:`repro.sim.compiled`), Brent certification, and the
+  batched product-configuration-graph solver for delay sweeps;
+- :class:`BatchedBackend` — the compiled dispatch fanned out over a
+  process pool (:mod:`repro.sim.batch`) for independent-run grids;
+- :class:`AutoBackend` — per-call selection via
+  :func:`repro.sim.compiled.supports_compilation`: automata ride the
+  compiled backend, register programs the reference engine.
+
+The protocol is the seam the ISSUE's acceptance criterion tests:
+``scenarios run <name> --backend compiled`` and ``--backend reference``
+must produce identical outcome tables.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Optional, Sequence
+
+from ..agents.observations import AgentBase
+from ..sim.batch import BatchJob, run_batch
+from ..sim.compiled import (
+    DelayVerdict,
+    run_rendezvous_compiled,
+    run_rendezvous_fast,
+    solve_all_delays,
+    supports_compilation,
+)
+from ..sim.engine import RendezvousOutcome, run_rendezvous
+from ..trees.tree import Tree
+from .spec import ScenarioError
+
+__all__ = [
+    "Backend",
+    "ReferenceBackend",
+    "CompiledBackend",
+    "BatchedBackend",
+    "AutoBackend",
+    "select_backend",
+]
+
+_SWEEP_BUDGET = 500_000
+
+
+class Backend(abc.ABC):
+    """Uniform execution surface for rendezvous runs and delay sweeps."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def run(
+        self,
+        tree: Tree,
+        prototype: AgentBase,
+        start1: int,
+        start2: int,
+        *,
+        delay: int = 0,
+        delayed: int = 2,
+        max_rounds: int = 1_000_000,
+        certify: bool = False,
+    ) -> RendezvousOutcome:
+        """Execute one rendezvous instance."""
+
+    def run_many(self, jobs: Sequence[BatchJob]) -> list[RendezvousOutcome]:
+        """Execute independent jobs; results in job order.
+
+        Honors ``BatchJob.seed`` exactly like the pool worker does, so
+        serial and multiprocess executions of a seeded grid agree.  The
+        caller's global RNG state is restored afterwards — only the jobs
+        see the deterministic state (pool workers are forked, so theirs
+        dies with them).
+        """
+        seeded = any(job.seed is not None for job in jobs)
+        state = random.getstate() if seeded else None
+        try:
+            out = []
+            for job in jobs:
+                if job.seed is not None:
+                    random.seed(job.seed)
+                out.append(
+                    self.run(
+                        job.tree,
+                        job.prototype,
+                        job.start1,
+                        job.start2,
+                        delay=job.delay,
+                        delayed=job.delayed,
+                        max_rounds=job.max_rounds,
+                        certify=job.certify,
+                    )
+                )
+            return out
+        finally:
+            if state is not None:
+                random.setstate(state)
+
+    def sweep_delays(
+        self,
+        tree: Tree,
+        prototype: AgentBase,
+        start1: int,
+        start2: int,
+        *,
+        max_delay: int,
+        sides: Sequence[int] = (1, 2),
+        max_rounds: int = _SWEEP_BUDGET,
+    ) -> list[DelayVerdict]:
+        """Decide every (θ ≤ max_delay, delayed side) adversary choice.
+
+        The default implementation runs each choice independently with
+        certification; backends with a batched solver override it.
+        """
+        zero_side = 2 if 2 in sides else sides[0]
+        verdicts = []
+        for theta in range(max_delay + 1):
+            for side in sides:
+                if theta == 0 and side != zero_side:
+                    continue
+                out = self.run(
+                    tree,
+                    prototype,
+                    start1,
+                    start2,
+                    delay=theta,
+                    delayed=side,
+                    max_rounds=max_rounds,
+                    certify=True,
+                )
+                verdicts.append(
+                    DelayVerdict(
+                        theta, side, out.met, out.meeting_round, out.certified_never
+                    )
+                )
+        return verdicts
+
+
+class ReferenceBackend(Backend):
+    """The oracle: duck-typed per-round dispatch, ``seen``-set certificates."""
+
+    name = "reference"
+
+    def run(self, tree, prototype, start1, start2, **kwargs) -> RendezvousOutcome:
+        return run_rendezvous(tree, prototype, start1, start2, **kwargs)
+
+
+class CompiledBackend(Backend):
+    """Flat-table execution; requires finite-state (Automaton) agents."""
+
+    name = "compiled"
+
+    def run(self, tree, prototype, start1, start2, **kwargs) -> RendezvousOutcome:
+        return run_rendezvous_compiled(tree, prototype, start1, start2, **kwargs)
+
+    def sweep_delays(
+        self, tree, prototype, start1, start2, *, max_delay,
+        sides=(1, 2), max_rounds=_SWEEP_BUDGET,
+    ) -> list[DelayVerdict]:
+        return solve_all_delays(
+            tree, prototype, start1, start2,
+            max_delay=max_delay, delayed_sides=tuple(sides),
+        )
+
+
+class AutoBackend(Backend):
+    """Per-call selection: compiled for automata, reference otherwise."""
+
+    name = "auto"
+
+    def run(self, tree, prototype, start1, start2, **kwargs) -> RendezvousOutcome:
+        return run_rendezvous_fast(tree, prototype, start1, start2, **kwargs)
+
+    def sweep_delays(
+        self, tree, prototype, start1, start2, *, max_delay,
+        sides=(1, 2), max_rounds=_SWEEP_BUDGET,
+    ) -> list[DelayVerdict]:
+        if supports_compilation(prototype):
+            return solve_all_delays(
+                tree, prototype, start1, start2,
+                max_delay=max_delay, delayed_sides=tuple(sides),
+            )
+        return super().sweep_delays(
+            tree, prototype, start1, start2,
+            max_delay=max_delay, sides=sides, max_rounds=max_rounds,
+        )
+
+
+class BatchedBackend(AutoBackend):
+    """Auto dispatch per run, multiprocess fan-out for independent grids."""
+
+    name = "batched"
+
+    def __init__(self, processes: Optional[int] = None):
+        self.processes = processes
+
+    def run_many(self, jobs: Sequence[BatchJob]) -> list[RendezvousOutcome]:
+        return run_batch(jobs, processes=self.processes)
+
+
+def select_backend(
+    hint: str, *, processes: Optional[int] = None
+) -> Backend:
+    """Resolve a spec's backend hint to a concrete backend."""
+    if hint == "reference":
+        return ReferenceBackend()
+    if hint == "compiled":
+        return CompiledBackend()
+    if hint == "batched":
+        return BatchedBackend(processes=processes)
+    if hint == "auto":
+        return AutoBackend()
+    raise ScenarioError(f"unknown backend {hint!r}")

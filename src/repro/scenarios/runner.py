@@ -1,0 +1,166 @@
+"""The scenario runner: spec in, structured result out.
+
+``Runner.run`` resolves a name through the registry (or takes a spec
+directly), applies overrides, selects the backend, seeds the RNG from the
+spec, executes, and wraps the outcome table in a :class:`ScenarioResult`
+that knows how to render itself as a text table and serialize itself as
+a schema-versioned JSON payload (:mod:`repro.scenarios.store`).
+"""
+
+from __future__ import annotations
+
+import platform
+import random
+import sys
+import time
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional, Union
+
+from .backends import Backend, select_backend
+from .executors import BACKEND_AGNOSTIC_KINDS, execute
+from .spec import ScenarioError, ScenarioSpec
+
+__all__ = ["Runner", "ScenarioResult", "format_rows"]
+
+SCHEMA = "repro.scenario-result/v1"
+
+
+def format_rows(rows: list[dict]) -> str:
+    """Render an outcome table as aligned text: one header line, one line
+    per row, nothing else (CLI commands print this verbatim)."""
+    if not rows:
+        return "(no rows)"
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+
+    def cell(row: dict, col: str) -> str:
+        value = row.get(col)
+        if value is None:
+            return "-"
+        if isinstance(value, bool):
+            return str(value)
+        if isinstance(value, float):
+            return f"{value:g}"
+        return str(value)
+
+    widths = {
+        c: max(len(c), *(len(cell(r, c)) for r in rows)) for c in columns
+    }
+    lines = [" ".join(f"{c:>{widths[c]}}" for c in columns)]
+    for row in rows:
+        lines.append(" ".join(f"{cell(row, c):>{widths[c]}}" for c in columns))
+    return "\n".join(lines)
+
+
+@dataclass
+class ScenarioResult:
+    """A completed scenario run: the spec, its outcome table, aggregates."""
+
+    spec: ScenarioSpec
+    backend: str
+    rows: list[dict]
+    summary: dict
+    elapsed_seconds: float
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.summary.get("ok", True))
+
+    def spec_hash(self) -> str:
+        return self.spec.spec_hash()
+
+    def table(self) -> str:
+        return format_rows(self.rows)
+
+    def to_payload(self) -> dict:
+        """The persistence schema (validated by ``store.validate_payload``)."""
+        return {
+            "schema": SCHEMA,
+            "scenario": self.spec.name,
+            "kind": self.spec.kind,
+            "spec": self.spec.to_json(),
+            "spec_hash": self.spec_hash(),
+            "backend": self.backend,
+            "rows": self.rows,
+            "summary": self.summary,
+            "timings": {"elapsed_seconds": round(self.elapsed_seconds, 4)},
+            "environment": {
+                "python": platform.python_version(),
+                "implementation": sys.implementation.name,
+                "platform": platform.platform(),
+            },
+        }
+
+
+class Runner:
+    """Executes :class:`ScenarioSpec` objects through a chosen backend.
+
+    ``backend=None`` honours each spec's own hint; passing a hint string
+    (or a :class:`Backend` instance) overrides it for every run —
+    ``Runner(backend="reference")`` replays a whole scenario on the
+    oracle engine for parity checks.
+    """
+
+    def __init__(
+        self,
+        backend: Union[str, Backend, None] = None,
+        *,
+        processes: Optional[int] = None,
+    ):
+        self._backend = backend
+        self._processes = processes
+
+    def resolve(self, scenario: Union[str, ScenarioSpec]) -> ScenarioSpec:
+        if isinstance(scenario, ScenarioSpec):
+            return scenario
+        from .registry import get_scenario
+
+        return get_scenario(scenario)
+
+    def run(
+        self,
+        scenario: Union[str, ScenarioSpec],
+        *,
+        backend: Union[str, Backend, None] = None,
+        seed: Optional[int] = None,
+        params: Optional[Mapping[str, Any]] = None,
+        **overrides: Any,
+    ) -> ScenarioResult:
+        spec = self.resolve(scenario)
+        chosen = backend if backend is not None else self._backend
+        if isinstance(chosen, Backend):
+            spec = spec.with_overrides(seed=seed, params=params, **overrides)
+            resolved = chosen
+        else:
+            spec = spec.with_overrides(
+                backend=chosen, seed=seed, params=params, **overrides
+            )
+            resolved = select_backend(spec.backend, processes=self._processes)
+        if spec.kind in BACKEND_AGNOSTIC_KINDS and resolved.name != "auto":
+            raise ScenarioError(
+                f"scenario kind {spec.kind!r} does not consult a backend "
+                f"(its drivers pick their own engines); drop the "
+                f"{resolved.name!r} backend selection"
+            )
+        rng = random.Random(spec.seed)
+        start = time.perf_counter()
+        rows, summary = execute(spec, resolved, rng)
+        elapsed = time.perf_counter() - start
+        if "ok" not in summary:
+            raise ScenarioError(
+                f"executor for kind {spec.kind!r} returned no 'ok' verdict"
+            )
+        return ScenarioResult(
+            spec=spec,
+            backend=resolved.name,
+            rows=rows,
+            summary=summary,
+            elapsed_seconds=elapsed,
+        )

@@ -1,0 +1,150 @@
+"""Structured persistence for scenario results.
+
+Results are JSON documents under ``benchmarks/results/`` with a
+versioned schema (``repro.scenario-result/v1``):
+
+.. code-block:: text
+
+    {
+      "schema":      "repro.scenario-result/v1",
+      "scenario":    registry name,
+      "kind":        executor kind,
+      "spec":        the full ScenarioSpec (canonical JSON),
+      "spec_hash":   16-hex content hash of the spec,
+      "backend":     backend that executed the run,
+      "rows":        the outcome table (list of flat dicts),
+      "summary":     scenario-level aggregates incl. boolean "ok",
+      "timings":     {"elapsed_seconds": float},
+      "environment": {"python", "implementation", "platform"}
+    }
+
+``rows`` + ``spec_hash`` are the *comparable* part; ``timings`` and
+``environment`` are provenance and excluded from diffs.  Validation is
+hand-rolled (no jsonschema dependency in the image).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Union
+
+from .runner import SCHEMA, ScenarioResult
+from .spec import ScenarioError
+
+__all__ = ["ResultStore", "validate_payload", "diff_payloads"]
+
+_SCALAR = (str, int, float, bool, type(None))
+
+
+def _check(cond: bool, message: str) -> None:
+    if not cond:
+        raise ScenarioError(f"invalid scenario result: {message}")
+
+
+def validate_payload(payload: dict) -> None:
+    """Raise :class:`ScenarioError` unless ``payload`` matches the schema."""
+    _check(isinstance(payload, dict), "payload is not an object")
+    _check(payload.get("schema") == SCHEMA,
+           f"schema is {payload.get('schema')!r}, expected {SCHEMA!r}")
+    for key, typ in (
+        ("scenario", str),
+        ("kind", str),
+        ("spec", dict),
+        ("spec_hash", str),
+        ("backend", str),
+        ("rows", list),
+        ("summary", dict),
+        ("timings", dict),
+        ("environment", dict),
+    ):
+        _check(isinstance(payload.get(key), typ),
+               f"field {key!r} missing or not a {typ.__name__}")
+    _check(len(payload["spec_hash"]) == 16, "spec_hash is not 16 hex chars")
+    _check("ok" in payload["summary"] and isinstance(payload["summary"]["ok"], bool),
+           "summary lacks a boolean 'ok'")
+    for idx, row in enumerate(payload["rows"]):
+        _check(isinstance(row, dict), f"row {idx} is not an object")
+        for key, value in row.items():
+            ok = isinstance(value, _SCALAR) or (
+                isinstance(value, list) and all(isinstance(v, _SCALAR) for v in value)
+            )
+            _check(ok, f"row {idx} field {key!r} is not a scalar or scalar list")
+
+
+def comparable(payload: dict) -> dict:
+    """The part of a payload two runs must agree on (no timings/env)."""
+    return {
+        "scenario": payload["scenario"],
+        "kind": payload["kind"],
+        "spec_hash": payload["spec_hash"],
+        "rows": payload["rows"],
+    }
+
+
+def diff_payloads(a: dict, b: dict) -> list[str]:
+    """Human-readable outcome differences between two result payloads.
+
+    Empty list == equivalent results.  Backend, timings and environment
+    are provenance, not outcome, and are never reported.
+    """
+    diffs: list[str] = []
+    if a["scenario"] != b["scenario"]:
+        diffs.append(f"scenario: {a['scenario']} != {b['scenario']}")
+        return diffs
+    if a["spec_hash"] != b["spec_hash"]:
+        diffs.append(f"spec_hash: {a['spec_hash']} != {b['spec_hash']} "
+                     "(the runs had different inputs)")
+    ra, rb = a["rows"], b["rows"]
+    if len(ra) != len(rb):
+        diffs.append(f"row count: {len(ra)} != {len(rb)}")
+    for idx, (x, y) in enumerate(zip(ra, rb)):
+        if x == y:
+            continue
+        keys = [k for k in {**x, **y} if x.get(k) != y.get(k)]
+        diffs.append(
+            f"row {idx}: " + ", ".join(
+                f"{k}: {x.get(k)!r} != {y.get(k)!r}" for k in sorted(keys)
+            )
+        )
+    return diffs
+
+
+class ResultStore:
+    """Reads and writes scenario-result JSON under one directory."""
+
+    def __init__(self, root: Union[str, pathlib.Path]):
+        self.root = pathlib.Path(root)
+
+    def path_for(self, name: str) -> pathlib.Path:
+        return self.root / f"{name}.json"
+
+    def save(self, result: ScenarioResult) -> pathlib.Path:
+        payload = result.to_payload()
+        validate_payload(payload)
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(result.name)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return path
+
+    def load(self, name_or_path: Union[str, pathlib.Path]) -> dict:
+        path = pathlib.Path(name_or_path)
+        if not path.suffix == ".json":
+            path = self.path_for(str(name_or_path))
+        if not path.exists():
+            raise ScenarioError(f"no stored result at {path}")
+        payload = json.loads(path.read_text())
+        validate_payload(payload)
+        return payload
+
+    def names(self) -> list[str]:
+        if not self.root.exists():
+            return []
+        return sorted(p.stem for p in self.root.glob("*.json"))
+
+    def diff(
+        self,
+        a: Union[str, pathlib.Path],
+        b: Union[str, pathlib.Path],
+    ) -> list[str]:
+        return diff_payloads(self.load(a), self.load(b))

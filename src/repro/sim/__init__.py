@@ -17,7 +17,7 @@ from .adversary import (
     feasible_start_pairs,
     labelings_for,
 )
-from .batch import BatchJob, run_batch
+from .batch import BatchJob, derive_seed, run_batch
 from .certificates import JointConfig, NonMeetingCertificate, build_certificate
 from .compiled import (
     CompiledAgent,
@@ -30,7 +30,7 @@ from .compiled import (
 )
 from .engine import RendezvousOutcome, run_rendezvous
 from .instrument import RegisterEvent, SoloRun, run_solo
-from .multi import GatheringOutcome, run_gathering
+from .multi import GatheringOutcome, run_gathering, run_gathering_reference
 from .trace import RoundRecord, Trace
 
 __all__ = [
@@ -44,12 +44,14 @@ __all__ = [
     "DelayVerdict",
     "BatchJob",
     "run_batch",
+    "derive_seed",
     "RendezvousOutcome",
     "NonMeetingCertificate",
     "JointConfig",
     "build_certificate",
     "GatheringOutcome",
     "run_gathering",
+    "run_gathering_reference",
     "run_solo",
     "SoloRun",
     "RegisterEvent",

@@ -18,7 +18,7 @@ from ..agents.observations import AgentBase
 from ..trees.automorphism import perfectly_symmetrizable
 from ..trees.labelings import all_labelings, random_relabel
 from ..trees.tree import Tree
-from .batch import BatchJob, run_batch
+from .batch import BatchJob, derive_seed, run_batch
 from .compiled import run_rendezvous_fast
 from .engine import RendezvousOutcome
 
@@ -112,6 +112,7 @@ def adversarial_search(
     certify: bool = False,
     stop_at_first_failure: bool = False,
     processes: Optional[int] = None,
+    seed: Optional[int] = None,
 ) -> AdversaryReport:
     """Attack ``prototype`` with every (labeling, start pair, delay) combo.
 
@@ -123,6 +124,11 @@ def adversarial_search(
     ``processes`` > 1 fans the sweep out over a process pool
     (:mod:`repro.sim.batch`); it is ignored when ``stop_at_first_failure``
     is set, since early exit needs sequential results anyway.
+
+    ``seed`` (optional) derives one per-instance RNG seed
+    (:func:`repro.sim.batch.derive_seed`) and threads it through the
+    workers, so sweeps over randomness-consuming agents are reproducible
+    regardless of process count or scheduling.
     """
     report = AdversaryReport()
     pair_list = list(pairs) if pairs is not None else list(feasible_start_pairs(tree))
@@ -134,21 +140,32 @@ def adversarial_search(
         for delay in delays
         for delayed in ((2,) if delay == 0 else (1, 2))
     ]
+    job_seed = (
+        (lambda idx: derive_seed(seed, idx)) if seed is not None else (lambda idx: None)
+    )
     if processes is not None and processes > 1 and not stop_at_first_failure:
         jobs = [
             BatchJob(t, prototype, u, v, delay=d, delayed=side,
-                     max_rounds=max_rounds, certify=certify)
-            for t, u, v, d, side in grid
+                     max_rounds=max_rounds, certify=certify, seed=job_seed(idx))
+            for idx, (t, u, v, d, side) in enumerate(grid)
         ]
         for (t, u, v, d, side), outcome in zip(grid, run_batch(jobs, processes=processes)):
             report.record(FailedInstance(t, u, v, d, side, outcome))
         return report
-    for t, u, v, d, side in grid:
-        outcome = run_rendezvous_fast(
-            t, prototype, u, v,
-            delay=d, delayed=side, max_rounds=max_rounds, certify=certify,
-        )
-        report.record(FailedInstance(t, u, v, d, side, outcome))
-        if stop_at_first_failure and report.failures:
-            return report
-    return report
+    # seeded serial runs must not leak deterministic state to the caller
+    saved_state = random.getstate() if seed is not None else None
+    try:
+        for idx, (t, u, v, d, side) in enumerate(grid):
+            if seed is not None:
+                random.seed(job_seed(idx))
+            outcome = run_rendezvous_fast(
+                t, prototype, u, v,
+                delay=d, delayed=side, max_rounds=max_rounds, certify=certify,
+            )
+            report.record(FailedInstance(t, u, v, d, side, outcome))
+            if stop_at_first_failure and report.failures:
+                return report
+        return report
+    finally:
+        if saved_state is not None:
+            random.setstate(saved_state)

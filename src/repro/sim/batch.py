@@ -23,8 +23,10 @@ factories may hold lambdas — hence the fallback.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import pickle
+import random
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -33,12 +35,30 @@ from ..trees.tree import Tree
 from .compiled import run_rendezvous_fast
 from .engine import RendezvousOutcome
 
-__all__ = ["BatchJob", "run_batch"]
+__all__ = ["BatchJob", "run_batch", "derive_seed"]
+
+
+def derive_seed(master: int, *parts: object) -> int:
+    """A stable 64-bit seed derived from a master seed and a job identity.
+
+    Used to thread one scenario-level ``seed`` through batch workers: the
+    derived seed depends only on ``(master, parts)``, never on which
+    process (or in what order) the job runs, so multiprocess sweeps are
+    bit-reproducible against serial ones.
+    """
+    blob = repr((int(master), parts)).encode()
+    return int.from_bytes(hashlib.sha256(blob).digest()[:8], "big")
 
 
 @dataclass(frozen=True, slots=True)
 class BatchJob:
-    """One independent rendezvous run."""
+    """One independent rendezvous run.
+
+    ``seed`` (optional) re-seeds the worker's global :mod:`random` state
+    right before the run, so agents that consult module-level randomness
+    behave identically whether the job runs serially or in a pool worker
+    with inherited RNG state.
+    """
 
     tree: Tree
     prototype: AgentBase
@@ -48,9 +68,12 @@ class BatchJob:
     delayed: int = 2
     max_rounds: int = 1_000_000
     certify: bool = False
+    seed: Optional[int] = None
 
 
 def _run_job(job: BatchJob) -> RendezvousOutcome:
+    if job.seed is not None:
+        random.seed(job.seed)
     return run_rendezvous_fast(
         job.tree,
         job.prototype,
@@ -85,7 +108,7 @@ def run_batch(
         processes = os.cpu_count() or 1
     processes = min(processes, len(jobs))
     if processes <= 1 or not _picklable(jobs):
-        return [_run_job(job) for job in jobs]
+        return _run_serial(jobs)
 
     import multiprocessing
 
@@ -99,4 +122,16 @@ def run_batch(
         with ctx.Pool(processes) as pool:
             return pool.map(_run_job, jobs, chunksize)
     except (pickle.PicklingError, OSError):  # pragma: no cover - env-specific
+        return _run_serial(jobs)
+
+
+def _run_serial(jobs: Sequence[BatchJob]) -> list[RendezvousOutcome]:
+    """In-process execution; seeded jobs must not leak RNG state to the
+    caller (pool workers are forked, so their reseeding dies with them)."""
+    seeded = any(job.seed is not None for job in jobs)
+    state = random.getstate() if seeded else None
+    try:
         return [_run_job(job) for job in jobs]
+    finally:
+        if state is not None:
+            random.setstate(state)

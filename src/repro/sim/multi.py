@@ -14,6 +14,13 @@ cases where all agents can agree on a single target node of the contraction
 (central node, or asymmetric central edge) — for the symmetric case with
 k > 2 the paper makes no claim and neither do we (see the module docs
 there).
+
+Backend dispatch mirrors the two-agent engine: finite-state prototypes
+(:func:`repro.sim.compiled.supports_compilation`) run on flat transition
+tables (:func:`_run_gathering_compiled`), arbitrary ``AgentBase`` programs
+on the readable reference loop (:func:`run_gathering_reference`, the
+oracle).  The parity suite in ``tests/sim/test_gathering_compiled.py``
+asserts identical outcomes.
 """
 
 from __future__ import annotations
@@ -24,8 +31,9 @@ from typing import Optional, Sequence
 from ..agents.observations import NULL_PORT, STAY, AgentBase, resolve_action
 from ..errors import SimulationError
 from ..trees.tree import Tree
+from .compiled import _INVALID, compile_agent, supports_compilation
 
-__all__ = ["GatheringOutcome", "run_gathering"]
+__all__ = ["GatheringOutcome", "run_gathering", "run_gathering_reference"]
 
 
 @dataclass(frozen=True)
@@ -53,6 +61,18 @@ class _State:
     in_port: int = NULL_PORT
 
 
+def _validate(tree: Tree, starts: Sequence[int], delays) -> list[int]:
+    if len(starts) < 2:
+        raise SimulationError("gathering needs at least two agents")
+    for s in starts:
+        if not (0 <= s < tree.n):
+            raise SimulationError("start node outside the tree")
+    delay_list = list(delays) if delays is not None else [0] * len(starts)
+    if len(delay_list) != len(starts) or any(d < 0 for d in delay_list):
+        raise SimulationError("delays must align with starts and be >= 0")
+    return delay_list
+
+
 def run_gathering(
     tree: Tree,
     prototype: AgentBase,
@@ -65,16 +85,38 @@ def run_gathering(
 
     ``delays[i]`` (default all 0) is agent i's start delay.  Agents that
     have not started yet still occupy their start node.
-    """
-    if len(starts) < 2:
-        raise SimulationError("gathering needs at least two agents")
-    for s in starts:
-        if not (0 <= s < tree.n):
-            raise SimulationError("start node outside the tree")
-    delay_list = list(delays) if delays is not None else [0] * len(starts)
-    if len(delay_list) != len(starts) or any(d < 0 for d in delay_list):
-        raise SimulationError("delays must align with starts and be >= 0")
 
+    Finite-state prototypes are dispatched to the compiled table-driven
+    loop; everything else runs on :func:`run_gathering_reference`.
+    """
+    delay_list = _validate(tree, starts, delays)
+    if supports_compilation(prototype):
+        return _run_gathering_compiled(
+            tree, prototype, list(starts), delay_list, max_rounds
+        )
+    return _run_gathering_loop(tree, prototype, list(starts), delay_list, max_rounds)
+
+
+def run_gathering_reference(
+    tree: Tree,
+    prototype: AgentBase,
+    starts: Sequence[int],
+    *,
+    delays: Optional[Sequence[int]] = None,
+    max_rounds: int = 1_000_000,
+) -> GatheringOutcome:
+    """The oracle loop, forced for every agent type (parity testing)."""
+    delay_list = _validate(tree, starts, delays)
+    return _run_gathering_loop(tree, prototype, list(starts), delay_list, max_rounds)
+
+
+def _run_gathering_loop(
+    tree: Tree,
+    prototype: AgentBase,
+    starts: list[int],
+    delay_list: list[int],
+    max_rounds: int,
+) -> GatheringOutcome:
     agents = [
         _State(prototype.clone(), pos, delay)
         for pos, delay in zip(starts, delay_list)
@@ -120,3 +162,70 @@ def _action(tree: Tree, a: _State, rnd: int) -> int:
     else:
         raw = a.agent.step(a.in_port, degree)
     return resolve_action(raw, degree)
+
+
+def _run_gathering_compiled(
+    tree: Tree,
+    prototype,
+    starts: list[int],
+    delay_list: list[int],
+    max_rounds: int,
+) -> GatheringOutcome:
+    """Table-driven replay of the reference gathering loop.
+
+    Each agent's action depends only on its own (position, state, entry
+    port), so per-agent sequential updates within a round are equivalent
+    to the reference's compute-all-then-move order.
+    """
+    compiled = compile_agent(prototype, tree)
+    stride, deg, move_to, move_in = tree.flat_move_tables()
+    width = stride + 1
+    nxt, act = compiled.next_state, compiled.action
+    start_act = compiled.start_action
+    s0 = compiled.initial_state
+    automaton = compiled.automaton
+
+    k = len(starts)
+    pos = list(starts)
+    st = [0] * k
+    ip = [0] * k  # entry-port indices (in_port + 1; 0 == NULL_PORT)
+    started = [False] * k
+
+    def cluster_size() -> int:
+        counts: dict[int, int] = {}
+        for p in pos:
+            counts[p] = counts.get(p, 0) + 1
+        return max(counts.values())
+
+    largest = cluster_size()
+    if largest == k:
+        return GatheringOutcome(True, 0, pos[0], 0, tuple(pos), largest)
+
+    for rnd in range(1, max_rounds + 1):
+        for i in range(k):
+            if started[i]:
+                d = deg[pos[i]]
+                idx = (st[i] * width + ip[i]) * width + d
+                s2 = nxt[idx]
+                if s2 == _INVALID:
+                    automaton.transition(st[i], ip[i] - 1, d)  # raises the real error
+                    raise SimulationError("invalid transition entry")  # pragma: no cover
+                st[i] = s2
+                a = act[idx]
+            elif rnd > delay_list[i]:
+                started[i] = True
+                st[i] = s0
+                a = start_act[deg[pos[i]]]
+            else:
+                a = STAY
+            if a == STAY:
+                ip[i] = 0
+            else:
+                base = pos[i] * stride + a
+                pos[i] = move_to[base]
+                ip[i] = move_in[base] + 1
+        size = cluster_size()
+        largest = max(largest, size)
+        if size == k:
+            return GatheringOutcome(True, rnd, pos[0], rnd, tuple(pos), largest)
+    return GatheringOutcome(False, None, None, max_rounds, tuple(pos), largest)

@@ -1,0 +1,62 @@
+"""CLI coverage smoke test (satellite of the unified-scenario PR).
+
+Invokes EVERY registered subcommand on a tiny instance and asserts exit
+code 0.  The argv table below is checked against the parser's actual
+subcommand list, so adding a CLI command without a smoke entry fails
+loudly here.
+"""
+
+import argparse
+
+import pytest
+
+from repro.cli import _parser, main
+
+# tiny-instance argv per subcommand; every entry must exit 0
+SMOKE_ARGV = {
+    "solve": ["--tree", "line:7", "-u", "0", "-v", "4"],
+    "baseline": ["--tree", "star:4", "-u", "1", "-v", "3", "--delay", "3"],
+    # random:2 @ seed 4 on line:3 meets under every delay choice (rc 0)
+    "delays": ["--tree", "line:3", "--agent", "random:2", "--seed", "4",
+               "-u", "0", "-v", "1", "--max-delay", "3"],
+    "atlas": ["-n", "4"],
+    "gap": ["--subdivisions", "0,1"],
+    "thm31": ["--max-k", "1"],
+    "thm42": ["--max-pause", "1"],
+    "thm43": ["--states", "3", "-i", "4"],
+    "verify": ["-n", "4"],
+    "gather": ["--tree", "spider:2,2,2", "--starts", "1,3,5"],
+    "viz": ["--tree", "star:3"],
+    "report": [],
+    "experiments": ["--quick"],
+    "scenarios": ["run", "delays-line"],
+}
+
+
+def registered_subcommands() -> set[str]:
+    parser = _parser()
+    action = next(
+        a for a in parser._actions if isinstance(a, argparse._SubParsersAction)
+    )
+    return set(action.choices)
+
+
+def test_smoke_table_covers_every_subcommand():
+    assert registered_subcommands() == set(SMOKE_ARGV)
+
+
+@pytest.mark.parametrize("command", sorted(SMOKE_ARGV))
+def test_subcommand_exits_zero(command, capsys):
+    rc = main([command, *SMOKE_ARGV[command]])
+    out = capsys.readouterr().out
+    assert rc == 0, f"{command} exited {rc}:\n{out}"
+    assert out.strip(), f"{command} printed nothing"
+
+
+def test_scenarios_list_names_everything(capsys):
+    from repro.scenarios import scenario_names
+
+    assert main(["scenarios", "list"]) == 0
+    out = capsys.readouterr().out
+    for name in scenario_names():
+        assert name in out

@@ -1,0 +1,88 @@
+"""Backend-parity tests: the ISSUE's acceptance criterion.
+
+``scenarios run thm31-sweep --backend compiled`` and
+``--backend reference`` must produce identical outcome tables, and the
+backend protocol's sweep ordering must match the batched solver's.
+"""
+
+import pytest
+
+from repro.agents import counting_walker
+from repro.core import rendezvous_agent
+from repro.errors import SimulationError
+from repro.scenarios import (
+    BatchedBackend,
+    CompiledBackend,
+    ReferenceBackend,
+    Runner,
+    select_backend,
+)
+from repro.sim import BatchJob, solve_all_delays
+from repro.trees import edge_colored_line, line
+
+
+class TestScenarioParity:
+    @pytest.mark.parametrize("name", ["thm31-sweep", "delays-line"])
+    def test_reference_compiled_batched_rows_identical(self, name):
+        runner = Runner()
+        params = {"ks": [1, 2]} if name == "thm31-sweep" else None
+        reference = runner.run(name, backend="reference", params=params)
+        compiled = runner.run(name, backend="compiled", params=params)
+        batched = runner.run(name, backend="batched", params=params)
+        assert reference.rows == compiled.rows == batched.rows
+        assert reference.spec_hash() == compiled.spec_hash()
+        assert {reference.backend, compiled.backend, batched.backend} == {
+            "reference", "compiled", "batched",
+        }
+
+    def test_cli_parity(self, capsys):
+        from repro.cli import main
+
+        outs = {}
+        for backend in ("reference", "compiled"):
+            rc = main(
+                ["scenarios", "run", "thm31-sweep", "--backend", backend,
+                 "--set", "ks=[1,2]"]
+            )
+            assert rc == 0
+            out = capsys.readouterr().out
+            outs[backend] = out.split("\nscenario=")[0]  # table only
+        assert outs["reference"] == outs["compiled"]
+
+
+class TestBackendProtocol:
+    def test_reference_sweep_matches_batched_solver(self):
+        tree = edge_colored_line(9)
+        agent = counting_walker(2)
+        ref = ReferenceBackend().sweep_delays(tree, agent, 0, 5, max_delay=6)
+        fast = solve_all_delays(tree, agent, 0, 5, max_delay=6)
+        assert [
+            (v.delay, v.delayed, v.met, v.meeting_round, v.certified_never)
+            for v in ref
+        ] == [
+            (v.delay, v.delayed, v.met, v.meeting_round, v.certified_never)
+            for v in fast
+        ]
+
+    def test_compiled_rejects_register_programs(self):
+        with pytest.raises(SimulationError):
+            CompiledBackend().run(line(5), rendezvous_agent(), 0, 3)
+
+    def test_run_many_order_and_parity(self):
+        tree = line(6)
+        agent = counting_walker(1)
+        jobs = [
+            BatchJob(tree, agent, u, v, delay=d, max_rounds=5000, certify=True)
+            for (u, v, d) in [(0, 5, 0), (1, 4, 2), (2, 5, 1)]
+        ]
+        ref = ReferenceBackend().run_many(jobs)
+        bat = BatchedBackend(processes=2).run_many(jobs)
+        assert [
+            (o.met, o.meeting_round, o.certified_never) for o in ref
+        ] == [
+            (o.met, o.meeting_round, o.certified_never) for o in bat
+        ]
+
+    def test_select_backend_names(self):
+        for hint in ("auto", "reference", "compiled", "batched"):
+            assert select_backend(hint).name == hint

@@ -1,0 +1,102 @@
+"""Tests for the ResultStore: schema validation, diffing, the golden sample."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.scenarios import (
+    ResultStore,
+    Runner,
+    ScenarioError,
+    diff_payloads,
+    validate_payload,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+GOLDEN = REPO_ROOT / "benchmarks" / "results" / "golden" / "thm31-sweep.json"
+
+
+@pytest.fixture(scope="module")
+def result():
+    return Runner().run("delays-line")
+
+
+class TestStoreRoundtrip:
+    def test_save_load_validate(self, result, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.save(result)
+        assert path == tmp_path / "delays-line.json"
+        payload = store.load("delays-line")
+        assert payload["rows"] == result.rows
+        assert payload["spec_hash"] == result.spec_hash()
+        assert store.names() == ["delays-line"]
+
+    def test_load_missing(self, tmp_path):
+        with pytest.raises(ScenarioError):
+            ResultStore(tmp_path).load("ghost")
+
+
+class TestValidation:
+    def test_rejects_wrong_schema(self, result):
+        payload = result.to_payload()
+        payload["schema"] = "v0"
+        with pytest.raises(ScenarioError):
+            validate_payload(payload)
+
+    def test_rejects_missing_summary_ok(self, result):
+        payload = result.to_payload()
+        del payload["summary"]["ok"]
+        with pytest.raises(ScenarioError):
+            validate_payload(payload)
+
+    def test_rejects_nested_row_values(self, result):
+        payload = result.to_payload()
+        payload["rows"] = [{"bad": {"nested": 1}}]
+        with pytest.raises(ScenarioError):
+            validate_payload(payload)
+
+
+class TestDiff:
+    def test_equivalent(self, result):
+        assert diff_payloads(result.to_payload(), result.to_payload()) == []
+
+    def test_row_difference_reported(self, result):
+        a, b = result.to_payload(), result.to_payload()
+        b["rows"] = json.loads(json.dumps(b["rows"]))
+        b["rows"][0]["verdict"] = "flipped"
+        diffs = diff_payloads(a, b)
+        assert any("row 0" in d and "verdict" in d for d in diffs)
+
+    def test_spec_mismatch_reported(self, result):
+        a, b = result.to_payload(), result.to_payload()
+        b["spec_hash"] = "0" * 16
+        assert any("spec_hash" in d for d in diff_payloads(a, b))
+
+    def test_store_diff_across_backends(self, tmp_path):
+        runner = Runner()
+        store = ResultStore(tmp_path)
+        ref = runner.run("thm31-sweep", backend="reference", params={"ks": [1, 2]})
+        cmp_ = runner.run("thm31-sweep", backend="compiled", params={"ks": [1, 2]})
+        pa = tmp_path / "ref.json"
+        pa.write_text(json.dumps(ref.to_payload()))
+        pb = tmp_path / "cmp.json"
+        pb.write_text(json.dumps(cmp_.to_payload()))
+        assert store.diff(pa, pb) == []
+
+
+class TestGoldenSample:
+    """The checked-in golden result stays reproducible (satellite: the
+    .txt artifacts were replaced by schema-validated JSON)."""
+
+    def test_golden_validates(self):
+        payload = json.loads(GOLDEN.read_text())
+        validate_payload(payload)
+        assert payload["scenario"] == "thm31-sweep"
+
+    def test_golden_matches_fresh_run(self):
+        payload = json.loads(GOLDEN.read_text())
+        fresh = Runner().run("thm31-sweep")
+        assert fresh.spec_hash() == payload["spec_hash"]
+        assert fresh.rows == payload["rows"]
+        assert fresh.summary == payload["summary"]
