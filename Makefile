@@ -5,9 +5,11 @@ PY := PYTHONPATH=src python
 test:
 	$(PY) -m pytest -x -q
 
-# Quick engine-backend benchmark: refreshes BENCH_engine.json in seconds.
+# Quick benchmark smokes: refresh BENCH_engine.json and the first
+# gathering grid's JSON result in seconds.
 bench-smoke:
 	$(PY) benchmarks/bench_engine.py --quick
+	$(PY) benchmarks/bench_gathering.py --quick
 
 # Full-size engine-backend benchmark (the numbers quoted in the README).
 bench-engine:

@@ -1,0 +1,69 @@
+"""E-gathering — the k-agent gathering sweep workload (§1.3 extension).
+
+Regenerates the gathering grids from the scenario registry: tree family
+× start sets × per-agent delay vectors, decided exactly by the joint-
+configuration solver (:func:`repro.sim.gathering_solver.solve_gathering`
+— the k-agent generalization of the all-delays batch solver).  Every
+verdict is ``met`` or ``certified-never``; an ``undecided`` row would
+fail the run.
+
+Results go to ``benchmarks/results/<scenario>.json`` through the shared
+harness; a checked-in golden sample lives under
+``benchmarks/results/golden/`` and is enforced by
+``tests/scenarios/test_scenario_store.py``.  Run directly
+(``python benchmarks/bench_gathering.py [--quick]``), via
+``make bench-smoke``, or through pytest-benchmark like the other
+benchmarks; the tier-1 suite exercises the quick mode through
+``tests/sim/test_bench_smoke.py``.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))  # for import under pytest/importlib
+
+from _util import run_scenario
+
+SCENARIOS = [
+    "gathering-line-k3",
+    "gathering-line-k4",
+    "gathering-spider-k3",
+    "gathering-binary-k4",
+]
+
+
+def main(quick: bool = False, out_dir: Path | None = None) -> dict:
+    """Run the gathering grids; quick mode covers one scenario."""
+    results = {}
+    for name in SCENARIOS[:1] if quick else SCENARIOS:
+        result = run_scenario(name, out_dir=out_dir)
+        assert result.ok, f"{name} left adversary choices undecided"
+        results[name] = result
+    return results
+
+
+def test_gathering_line_k3(benchmark):
+    result = run_scenario("gathering-line-k3", benchmark)
+    assert result.ok
+    assert result.summary["met"] >= 1
+    assert result.summary["certified_never"] >= 1
+    assert result.summary["undecided"] == 0
+
+
+def test_gathering_binary_k4(benchmark):
+    result = run_scenario("gathering-binary-k4", benchmark)
+    assert result.ok
+    assert result.summary["undecided"] == 0
+
+
+def test_gathering_sweep_reference_parity(benchmark):
+    # The acceptance seam, measured: the same grid on the oracle engine.
+    result = run_scenario("gathering-spider-k3", benchmark, backend="reference")
+    assert result.ok
+    from repro.scenarios import Runner
+
+    assert result.rows == Runner().run("gathering-spider-k3").rows
+
+
+if __name__ == "__main__":
+    main(quick="--quick" in sys.argv[1:])

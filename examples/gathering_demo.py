@@ -46,6 +46,23 @@ def main() -> None:
     sym = line(9)
     print(f"symmetric-contraction tree (odd line): "
           f"{classify_gathering(sym).kind} — guarantees only for k = 2 there.")
+    print()
+
+    # For finite-state agents the gathering question is *decidable*: the
+    # joint-configuration solver certifies non-gathering instead of
+    # timing out.  Decide a whole per-agent delay grid in one pass:
+    from repro.agents import counting_walker
+    from repro.sim import solve_gathering
+
+    grid = [[0, 0, 0], [0, 1, 2], [1, 0, 2], [2, 0, 1]]
+    verdicts = solve_gathering(line(9), counting_walker(2), [0, 1, 3], grid)
+    print("counting_walker(2) ×3 on line:9, starts 0,1,3 — exact verdicts:")
+    for v in verdicts:
+        fate = (f"gathers at round {v.gathering_round}"
+                if v.gathered else "certifiably never gathers")
+        print(f"  delays {','.join(map(str, v.delays))}: {fate}")
+    print("(the same grids run at scale via "
+          "`python -m repro scenarios run gathering-line-k3`)")
 
 
 if __name__ == "__main__":

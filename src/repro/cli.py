@@ -12,6 +12,7 @@ thm42        build + certify the Theorem 4.2 adversary
 thm43        build + certify the Theorem 4.3 adversary
 verify       exhaustive Theorem 4.1 / Fact 1.1 verification
 gather       gather k identical agents (the extension of §1.3)
+gather-sweep decide a k-agent gathering grid (joint-configuration solver)
 viz          render a tree as ASCII art or Graphviz DOT
 report       regenerate the experiment report as markdown
 experiments  run every experiment table (E1-E8) and print them
@@ -176,6 +177,35 @@ def _cmd_verify(args: argparse.Namespace) -> int:
               f"failures: {row['failures']}")
         if row["check"] == "thm41" and row["failures"]:
             return 1
+    return 0 if result.ok else 1
+
+
+def _cmd_gather_sweep(args: argparse.Namespace) -> int:
+    from .scenarios import ScenarioSpec
+
+    start_sets = [
+        [int(x) for x in chunk.split(",")] for chunk in args.starts.split(";")
+    ]
+    delay_vectors = [
+        [int(x) for x in chunk.split(",")] for chunk in args.delays.split(";")
+    ]
+    spec = ScenarioSpec(
+        name="gather-sweep-cli",
+        kind="gathering_sweep",
+        tree=args.tree,
+        agent=args.agent,
+        seed=args.seed,
+        params={"start_sets": start_sets, "delay_vectors": delay_vectors},
+    )
+    result = _runner(args).run(spec)
+    print(result.table())
+    s = result.summary
+    print(
+        f"\n{s['choices']} adversary choices: {s['met']} met / "
+        f"{s['certified_never']} certified-never / {s['undecided']} undecided"
+    )
+    # 0/1 like `scenarios run`: not-ok means a choice was left undecided
+    # (argparse reserves 2 for usage errors)
     return 0 if result.ok else 1
 
 
@@ -392,6 +422,21 @@ def _parser() -> argparse.ArgumentParser:
     p.add_argument("-n", type=int, default=6)
     p.add_argument("--labelings", type=int, default=1)
     p.set_defaults(fn=_cmd_verify)
+
+    p = sub.add_parser(
+        "gather-sweep",
+        help="decide a k-agent gathering grid (joint-configuration solver)",
+    )
+    p.add_argument("--tree", default="line:9")
+    p.add_argument("--agent", default="counting:2",
+                   help="alternator | counting:K | pausing:P | tree-random:K")
+    p.add_argument("--starts", default="0,1,3;0,2,4",
+                   help="';'-separated start sets, e.g. 0,1,3;0,2,4")
+    p.add_argument("--delays", default="0,0,0;0,1,2",
+                   help="';'-separated per-agent delay vectors")
+    p.add_argument("--seed", type=int, default=0)
+    _add_backend_option(p)
+    p.set_defaults(fn=_cmd_gather_sweep)
 
     p = sub.add_parser("gather", help="gather k identical agents")
     p.add_argument("--tree", default="spider:2,3,4")

@@ -28,6 +28,14 @@ class SimulationError(ReproError):
     """The synchronous simulator was driven into an inconsistent state."""
 
 
+class BudgetExceededError(SimulationError):
+    """An exact solver's configuration-exploration guard tripped.
+
+    Distinguishable from other :class:`SimulationError` causes so sweep
+    backends can degrade to budgeted per-run verdicts instead of
+    aborting the whole sweep."""
+
+
 class AgentProtocolError(ReproError):
     """An agent program violated the action/observation protocol."""
 

@@ -1,13 +1,17 @@
 """The formal simulation-backend protocol the scenario runner targets.
 
-Every rendezvous run a scenario performs goes through a :class:`Backend`:
+Every rendezvous or gathering run a scenario performs goes through a
+:class:`Backend`:
 
-- :class:`ReferenceBackend` — the readable oracle engine
-  (:func:`repro.sim.engine.run_rendezvous`), per-run ``seen``-set
-  certification, per-delay sweeps;
+- :class:`ReferenceBackend` — the readable oracle engines
+  (:func:`repro.sim.engine.run_rendezvous`,
+  :func:`repro.sim.multi.run_gathering_reference`), per-run ``seen``-set
+  certification, per-choice sweeps;
 - :class:`CompiledBackend` — flat-table execution for finite-state
-  agents (:mod:`repro.sim.compiled`), Brent certification, and the
-  batched product-configuration-graph solver for delay sweeps;
+  agents (:mod:`repro.sim.compiled` / :mod:`repro.sim.multi`), Brent
+  certification, and the batched product-configuration-graph solvers for
+  delay sweeps (:func:`repro.sim.compiled.solve_all_delays`) and
+  gathering grids (:func:`repro.sim.gathering_solver.solve_gathering`);
 - :class:`BatchedBackend` — the compiled dispatch fanned out over a
   process pool (:mod:`repro.sim.batch`) for independent-run grids;
 - :class:`AutoBackend` — per-call selection via
@@ -17,6 +21,18 @@ Every rendezvous run a scenario performs goes through a :class:`Backend`:
 The protocol is the seam the ISSUE's acceptance criterion tests:
 ``scenarios run <name> --backend compiled`` and ``--backend reference``
 must produce identical outcome tables.
+
+Sweep budgets: ``sweep_delays`` / ``sweep_gathering`` accept
+``max_rounds=None`` (the default), meaning "whatever the backend needs
+to decide".  The reference path substitutes a generous per-run round
+budget; the exact solvers need no round budget at all — they decide
+every choice by construction.  An *explicit* ``max_rounds`` is never
+silently dropped: the reference path uses it as the per-run round
+budget, and the exact solvers honor it as their configuration-
+exploration guard, degrading to budgeted per-run verdicts (undecided
+where unprovable — never a crash, never fake proof) when the guard
+trips.  A caller who bounds the sweep therefore gets a bounded sweep
+with the same verdict semantics on every backend.
 """
 
 from __future__ import annotations
@@ -26,7 +42,8 @@ import random
 from typing import Optional, Sequence
 
 from ..agents.observations import AgentBase
-from ..sim.batch import BatchJob, run_batch
+from ..errors import BudgetExceededError
+from ..sim.batch import BatchJob, GatheringJob, run_batch, run_gathering_batch
 from ..sim.compiled import (
     DelayVerdict,
     run_rendezvous_compiled,
@@ -35,6 +52,13 @@ from ..sim.compiled import (
     supports_compilation,
 )
 from ..sim.engine import RendezvousOutcome, run_rendezvous
+from ..sim.gathering_solver import GatheringVerdict, solve_gathering
+from ..sim.multi import (
+    GatheringOutcome,
+    run_gathering,
+    run_gathering_compiled,
+    run_gathering_reference,
+)
 from ..trees.tree import Tree
 from .spec import ScenarioError
 
@@ -51,7 +75,8 @@ _SWEEP_BUDGET = 500_000
 
 
 class Backend(abc.ABC):
-    """Uniform execution surface for rendezvous runs and delay sweeps."""
+    """Uniform execution surface for rendezvous and gathering runs and
+    their sweeps."""
 
     name: str = "abstract"
 
@@ -70,6 +95,23 @@ class Backend(abc.ABC):
     ) -> RendezvousOutcome:
         """Execute one rendezvous instance."""
 
+    def run_gathering(
+        self,
+        tree: Tree,
+        prototype: AgentBase,
+        starts: Sequence[int],
+        *,
+        delays: Optional[Sequence[int]] = None,
+        max_rounds: int = 1_000_000,
+        certify: bool = False,
+    ) -> GatheringOutcome:
+        """Execute one k-agent gathering instance (auto dispatch unless
+        a subclass pins an engine)."""
+        return run_gathering(
+            tree, prototype, starts,
+            delays=delays, max_rounds=max_rounds, certify=certify,
+        )
+
     def run_many(self, jobs: Sequence[BatchJob]) -> list[RendezvousOutcome]:
         """Execute independent jobs; results in job order.
 
@@ -79,6 +121,17 @@ class Backend(abc.ABC):
         see the deterministic state (pool workers are forked, so theirs
         dies with them).
         """
+        return self._run_jobs(jobs, lambda job: job.apply(self.run))
+
+    def run_gathering_many(
+        self, jobs: Sequence[GatheringJob]
+    ) -> list[GatheringOutcome]:
+        """Execute independent gathering jobs; results in job order,
+        seeds honored as in :meth:`run_many`."""
+        return self._run_jobs(jobs, lambda job: job.apply(self.run_gathering))
+
+    @staticmethod
+    def _run_jobs(jobs, run_one):
         seeded = any(job.seed is not None for job in jobs)
         state = random.getstate() if seeded else None
         try:
@@ -86,18 +139,7 @@ class Backend(abc.ABC):
             for job in jobs:
                 if job.seed is not None:
                     random.seed(job.seed)
-                out.append(
-                    self.run(
-                        job.tree,
-                        job.prototype,
-                        job.start1,
-                        job.start2,
-                        delay=job.delay,
-                        delayed=job.delayed,
-                        max_rounds=job.max_rounds,
-                        certify=job.certify,
-                    )
-                )
+                out.append(run_one(job))
             return out
         finally:
             if state is not None:
@@ -112,13 +154,18 @@ class Backend(abc.ABC):
         *,
         max_delay: int,
         sides: Sequence[int] = (1, 2),
-        max_rounds: int = _SWEEP_BUDGET,
+        max_rounds: Optional[int] = None,
     ) -> list[DelayVerdict]:
         """Decide every (θ ≤ max_delay, delayed side) adversary choice.
 
         The default implementation runs each choice independently with
         certification; backends with a batched solver override it.
+        ``max_rounds=None`` lets the backend pick its own budget; an
+        explicit value bounds the work on every backend (per-run rounds
+        here, configuration exploration in the exact solver — see the
+        module docstring).
         """
+        budget = _SWEEP_BUDGET if max_rounds is None else max_rounds
         zero_side = 2 if 2 in sides else sides[0]
         verdicts = []
         for theta in range(max_delay + 1):
@@ -132,7 +179,7 @@ class Backend(abc.ABC):
                     start2,
                     delay=theta,
                     delayed=side,
-                    max_rounds=max_rounds,
+                    max_rounds=budget,
                     certify=True,
                 )
                 verdicts.append(
@@ -141,6 +188,88 @@ class Backend(abc.ABC):
                     )
                 )
         return verdicts
+
+    def sweep_gathering(
+        self,
+        tree: Tree,
+        prototype: AgentBase,
+        starts: Sequence[int],
+        delay_vectors: Sequence[Sequence[int]],
+        *,
+        max_rounds: Optional[int] = None,
+    ) -> list[GatheringVerdict]:
+        """Decide every per-agent delay vector of a gathering grid.
+
+        The default implementation routes certified independent runs
+        through :meth:`run_gathering_many` (on the batched backend that
+        fans them over its pool); the compiled and auto backends instead
+        take the exact joint-configuration solver for automata, so the
+        pool is only reached for agents the solver cannot lower.  A
+        budgeted per-run backend can exhaust ``max_rounds`` without a
+        certificate — those verdicts come back with neither flag set and
+        callers must report them as undecided, never as proof.
+        """
+        budget = _SWEEP_BUDGET if max_rounds is None else max_rounds
+        jobs = [
+            GatheringJob(
+                tree, prototype, tuple(starts), tuple(vec),
+                max_rounds=budget, certify=True,
+            )
+            for vec in delay_vectors
+        ]
+        return [
+            GatheringVerdict(
+                tuple(vec), out.gathered, out.gathering_round, out.certified_never
+            )
+            for vec, out in zip(delay_vectors, self.run_gathering_many(jobs))
+        ]
+
+
+def _sweep_delays_exact(
+    backend: Backend, tree, prototype, start1, start2, max_delay, sides, max_rounds
+) -> list[DelayVerdict]:
+    """Exact delay sweep with graceful budgeting.
+
+    The exact solver needs no round budget — it decides every choice by
+    walking the finite product configuration graph.  An explicit caller
+    budget is still honored as the configuration-exploration guard, and
+    tripping it degrades to the budgeted per-run path (undecided where
+    unprovable) so a budgeted sweep behaves alike on every backend
+    instead of aborting here.
+    """
+    if max_rounds is None:
+        return solve_all_delays(
+            tree, prototype, start1, start2,
+            max_delay=max_delay, delayed_sides=tuple(sides),
+        )
+    try:
+        return solve_all_delays(
+            tree, prototype, start1, start2,
+            max_delay=max_delay, delayed_sides=tuple(sides),
+            max_configs=max_rounds,
+        )
+    except BudgetExceededError:
+        return Backend.sweep_delays(
+            backend, tree, prototype, start1, start2,
+            max_delay=max_delay, sides=sides, max_rounds=max_rounds,
+        )
+
+
+def _sweep_gathering_exact(
+    backend: Backend, tree, prototype, starts, delay_vectors, max_rounds
+) -> list[GatheringVerdict]:
+    """Exact gathering sweep with graceful budgeting (see
+    :func:`_sweep_delays_exact`)."""
+    if max_rounds is None:
+        return solve_gathering(tree, prototype, starts, delay_vectors)
+    try:
+        return solve_gathering(
+            tree, prototype, starts, delay_vectors, max_configs=max_rounds
+        )
+    except BudgetExceededError:
+        return Backend.sweep_gathering(
+            backend, tree, prototype, starts, delay_vectors, max_rounds=max_rounds
+        )
 
 
 class ReferenceBackend(Backend):
@@ -151,6 +280,9 @@ class ReferenceBackend(Backend):
     def run(self, tree, prototype, start1, start2, **kwargs) -> RendezvousOutcome:
         return run_rendezvous(tree, prototype, start1, start2, **kwargs)
 
+    def run_gathering(self, tree, prototype, starts, **kwargs) -> GatheringOutcome:
+        return run_gathering_reference(tree, prototype, starts, **kwargs)
+
 
 class CompiledBackend(Backend):
     """Flat-table execution; requires finite-state (Automaton) agents."""
@@ -160,13 +292,22 @@ class CompiledBackend(Backend):
     def run(self, tree, prototype, start1, start2, **kwargs) -> RendezvousOutcome:
         return run_rendezvous_compiled(tree, prototype, start1, start2, **kwargs)
 
+    def run_gathering(self, tree, prototype, starts, **kwargs) -> GatheringOutcome:
+        return run_gathering_compiled(tree, prototype, starts, **kwargs)
+
     def sweep_delays(
         self, tree, prototype, start1, start2, *, max_delay,
-        sides=(1, 2), max_rounds=_SWEEP_BUDGET,
+        sides=(1, 2), max_rounds=None,
     ) -> list[DelayVerdict]:
-        return solve_all_delays(
-            tree, prototype, start1, start2,
-            max_delay=max_delay, delayed_sides=tuple(sides),
+        return _sweep_delays_exact(
+            self, tree, prototype, start1, start2, max_delay, sides, max_rounds
+        )
+
+    def sweep_gathering(
+        self, tree, prototype, starts, delay_vectors, *, max_rounds=None,
+    ) -> list[GatheringVerdict]:
+        return _sweep_gathering_exact(
+            self, tree, prototype, starts, delay_vectors, max_rounds
         )
 
 
@@ -180,16 +321,26 @@ class AutoBackend(Backend):
 
     def sweep_delays(
         self, tree, prototype, start1, start2, *, max_delay,
-        sides=(1, 2), max_rounds=_SWEEP_BUDGET,
+        sides=(1, 2), max_rounds=None,
     ) -> list[DelayVerdict]:
         if supports_compilation(prototype):
-            return solve_all_delays(
-                tree, prototype, start1, start2,
-                max_delay=max_delay, delayed_sides=tuple(sides),
+            return _sweep_delays_exact(
+                self, tree, prototype, start1, start2, max_delay, sides, max_rounds
             )
         return super().sweep_delays(
             tree, prototype, start1, start2,
             max_delay=max_delay, sides=sides, max_rounds=max_rounds,
+        )
+
+    def sweep_gathering(
+        self, tree, prototype, starts, delay_vectors, *, max_rounds=None,
+    ) -> list[GatheringVerdict]:
+        if supports_compilation(prototype):
+            return _sweep_gathering_exact(
+                self, tree, prototype, starts, delay_vectors, max_rounds
+            )
+        return super().sweep_gathering(
+            tree, prototype, starts, delay_vectors, max_rounds=max_rounds,
         )
 
 
@@ -203,6 +354,11 @@ class BatchedBackend(AutoBackend):
 
     def run_many(self, jobs: Sequence[BatchJob]) -> list[RendezvousOutcome]:
         return run_batch(jobs, processes=self.processes)
+
+    def run_gathering_many(
+        self, jobs: Sequence[GatheringJob]
+    ) -> list[GatheringOutcome]:
+        return run_gathering_batch(jobs, processes=self.processes)
 
 
 def select_backend(

@@ -76,6 +76,7 @@ def _delay_sweep(spec: ScenarioSpec, backend: Backend, rng: random.Random):
         raise ScenarioError("delay_sweep needs a 'sweep' delay policy")
     # params may override the policy knob (CLI: --set max_delay=64)
     max_delay = spec.param("max_delay", spec.delays.max_delay)
+    max_rounds = spec.param("max_rounds")  # None -> backend's own budget
     agent = build_agent(spec.agent, spec.seed)
     rows = []
     for rep in range(spec.repetitions):
@@ -88,6 +89,7 @@ def _delay_sweep(spec: ScenarioSpec, backend: Backend, rng: random.Random):
             verdicts = backend.sweep_delays(
                 tree, agent, u, v,
                 max_delay=max_delay, sides=spec.delays.sides,
+                max_rounds=max_rounds,
             )
             for dv in verdicts:
                 if dv.met:
@@ -108,6 +110,70 @@ def _delay_sweep(spec: ScenarioSpec, backend: Backend, rng: random.Random):
                 if spec.repetitions > 1:
                     row = {"rep": rep, **row}
                 rows.append(row)
+    met = sum(r["verdict"] == "met" for r in rows)
+    undecided = sum(r["verdict"] == "undecided" for r in rows)
+    return rows, {
+        "ok": undecided == 0,  # every adversary choice was decided
+        "choices": len(rows),
+        "met": met,
+        "certified_never": len(rows) - met - undecided,
+        "undecided": undecided,
+        "all_met": met == len(rows),
+    }
+
+
+@executor("gathering_sweep")
+def _gathering_sweep(spec: ScenarioSpec, backend: Backend, rng: random.Random):
+    """Decide every (tree, start set, per-agent delay vector) gathering
+    choice — the k-agent generalization of ``delay_sweep``.
+
+    Params: ``trees`` (list of tree specs; defaults to the spec's single
+    ``tree``), ``start_sets`` (list of k-node start lists), and
+    ``delay_vectors`` (list of per-agent delay lists, each of length k).
+    All start sets and delay vectors must share one k.  Exact backends
+    decide every choice; a budgeted per-run backend may leave a choice
+    ``undecided`` — reported as such, never as proof.
+    """
+    tree_specs = spec.param("trees") or ([spec.tree] if spec.tree else [])
+    if not tree_specs:
+        raise ScenarioError("gathering_sweep needs a 'trees' param or a tree spec")
+    start_sets = [list(map(int, s)) for s in spec.param("start_sets", [])]
+    delay_vectors = [list(map(int, v)) for v in spec.param("delay_vectors", [])]
+    if not start_sets or not delay_vectors:
+        raise ScenarioError("gathering_sweep needs 'start_sets' and 'delay_vectors'")
+    ks = {len(s) for s in start_sets} | {len(v) for v in delay_vectors}
+    if len(ks) != 1:
+        raise ScenarioError(
+            f"gathering_sweep start sets and delay vectors must share one "
+            f"agent count, got lengths {sorted(ks)}"
+        )
+    agent = build_agent(spec.agent, spec.seed)
+    max_rounds = spec.param("max_rounds")  # None -> backend's own budget
+    rows = []
+    for tree_spec in tree_specs:
+        tree = build_tree(tree_spec, spec.seed)
+        for starts in start_sets:
+            verdicts = backend.sweep_gathering(
+                tree, agent, starts, delay_vectors, max_rounds=max_rounds
+            )
+            for vec, gv in zip(delay_vectors, verdicts):
+                if gv.gathered:
+                    verdict = "met"
+                elif gv.certified_never:
+                    verdict = "certified-never"
+                else:
+                    # a budgeted per-run backend can exhaust max_rounds
+                    # without a certificate; never report that as proof
+                    verdict = "undecided"
+                rows.append(
+                    {
+                        "tree": tree_spec,
+                        "starts": ",".join(map(str, starts)),
+                        "delays": ",".join(map(str, vec)),
+                        "verdict": verdict,
+                        "round": gv.gathering_round if gv.gathered else None,
+                    }
+                )
     met = sum(r["verdict"] == "met" for r in rows)
     undecided = sum(r["verdict"] == "undecided" for r in rows)
     return rows, {

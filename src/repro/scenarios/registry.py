@@ -231,3 +231,63 @@ register(ScenarioSpec(
     tree="spider:2,3,4",
     params={"starts": [1, 4, 8]},
 ))
+
+# --- gathering sweeps: §1.3's k-agent extension as a gridded workload ---
+# Each entry grids tree family × start sets × per-agent delay vectors and
+# is tuned so the default grid exercises both verdict classes (met and
+# certified-never) with every choice decided — the exact joint-
+# configuration solver on compiled/auto, certified runs on reference.
+
+register(ScenarioSpec(
+    name="gathering-line-k3",
+    kind="gathering_sweep",
+    description="3-agent gathering sweep on lines (counting walkers; "
+                "mixed met / certified-never grid)",
+    agent="counting:2",
+    params={
+        "trees": ["line:9", "line:12"],
+        "start_sets": [[0, 1, 3], [0, 2, 4], [0, 3, 4]],
+        "delay_vectors": [[0, 0, 0], [0, 1, 2], [1, 0, 2], [2, 0, 1], [0, 0, 2]],
+    },
+))
+
+register(ScenarioSpec(
+    name="gathering-line-k4",
+    kind="gathering_sweep",
+    description="4-agent gathering sweep on a line (counting walkers; "
+                "only asymmetric delay vectors gather)",
+    agent="counting:2",
+    params={
+        "trees": ["line:9"],
+        "start_sets": [[0, 1, 2, 3], [0, 2, 3, 4]],
+        "delay_vectors": [[0, 0, 0, 0], [1, 0, 1, 2], [0, 0, 1, 2], [2, 2, 1, 0]],
+    },
+))
+
+register(ScenarioSpec(
+    name="gathering-spider-k3",
+    kind="gathering_sweep",
+    description="3-agent gathering sweep on spiders (random bounded-"
+                "degree tree automaton)",
+    agent="tree-random:3",
+    seed=7,
+    params={
+        "trees": ["spider:2,2,2", "spider:2,3,4"],
+        "start_sets": [[1, 3, 5], [2, 4, 6]],
+        "delay_vectors": [[0, 0, 0], [0, 1, 2], [3, 0, 1]],
+    },
+))
+
+register(ScenarioSpec(
+    name="gathering-binary-k4",
+    kind="gathering_sweep",
+    description="4-agent gathering sweep on complete binary trees "
+                "(random bounded-degree tree automaton)",
+    agent="tree-random:4",
+    seed=4,
+    params={
+        "trees": ["binary:2", "binary:3"],
+        "start_sets": [[1, 3, 5, 6], [2, 4, 5, 6], [0, 3, 4, 6]],
+        "delay_vectors": [[0, 0, 0, 0], [0, 1, 2, 3], [2, 0, 0, 1], [1, 1, 0, 2]],
+    },
+))

@@ -117,6 +117,20 @@ class ResultStore:
         self.root = pathlib.Path(root)
 
     def path_for(self, name: str) -> pathlib.Path:
+        """The store file for ``name``; the name must be a bare result
+        name, never a path (dots are fine — ``thm31.v2`` is a name,
+        but a ``.json`` suffix or a path separator is not)."""
+        if "/" in name or "\\" in name or name in ("", ".", ".."):
+            raise ScenarioError(
+                f"result name {name!r} must not contain path separators; "
+                f"pass a path to load()/diff() instead"
+            )
+        if name.endswith(".json"):
+            # A name like "runA.json" would save as runA.json.json and
+            # then be irretrievable by name (load() strips the suffix).
+            raise ScenarioError(
+                f"result name {name!r} must not end with '.json'"
+            )
         return self.root / f"{name}.json"
 
     def save(self, result: ScenarioResult) -> pathlib.Path:
@@ -128,9 +142,31 @@ class ResultStore:
         return path
 
     def load(self, name_or_path: Union[str, pathlib.Path]) -> dict:
-        path = pathlib.Path(name_or_path)
-        if not path.suffix == ".json":
-            path = self.path_for(str(name_or_path))
+        """Load a result by store name or by explicit JSON path.
+
+        A string argument is a *name* unless it is a path: it contains a
+        path separator, or it ends in ``.json``.  (The old
+        ``suffix == ".json"`` test misrouted dotted names to the
+        filesystem.)  Path-like strings resolve to an existing file
+        first (the README's ``scenarios diff a.json b.json`` flow) and
+        fall back to the store root (so ``golden/thm31-sweep`` finds
+        ``<root>/golden/thm31-sweep.json`` from any CWD) — never to the
+        CWD-dependent double-suffix path ``<root>/<name>.json.json``.
+        """
+        if isinstance(name_or_path, pathlib.Path):
+            path = name_or_path
+        elif "/" in (text := str(name_or_path)) or "\\" in text:
+            path = pathlib.Path(text)
+            if not path.exists():
+                rel = text if text.endswith(".json") else f"{text}.json"
+                in_store = self.root / rel
+                if in_store.exists():
+                    path = in_store
+        elif text.endswith(".json"):
+            explicit = pathlib.Path(text)
+            path = explicit if explicit.exists() else self.path_for(text[: -len(".json")])
+        else:
+            path = self.path_for(text)
         if not path.exists():
             raise ScenarioError(f"no stored result at {path}")
         payload = json.loads(path.read_text())

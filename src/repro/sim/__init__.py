@@ -17,7 +17,13 @@ from .adversary import (
     feasible_start_pairs,
     labelings_for,
 )
-from .batch import BatchJob, derive_seed, run_batch
+from .batch import (
+    BatchJob,
+    GatheringJob,
+    derive_seed,
+    run_batch,
+    run_gathering_batch,
+)
 from .certificates import JointConfig, NonMeetingCertificate, build_certificate
 from .compiled import (
     CompiledAgent,
@@ -29,8 +35,14 @@ from .compiled import (
     supports_compilation,
 )
 from .engine import RendezvousOutcome, run_rendezvous
+from .gathering_solver import GatheringVerdict, solve_gathering
 from .instrument import RegisterEvent, SoloRun, run_solo
-from .multi import GatheringOutcome, run_gathering, run_gathering_reference
+from .multi import (
+    GatheringOutcome,
+    run_gathering,
+    run_gathering_compiled,
+    run_gathering_reference,
+)
 from .trace import RoundRecord, Trace
 
 __all__ = [
@@ -43,15 +55,20 @@ __all__ = [
     "CompiledAgent",
     "DelayVerdict",
     "BatchJob",
+    "GatheringJob",
     "run_batch",
+    "run_gathering_batch",
     "derive_seed",
     "RendezvousOutcome",
     "NonMeetingCertificate",
     "JointConfig",
     "build_certificate",
     "GatheringOutcome",
+    "GatheringVerdict",
     "run_gathering",
+    "run_gathering_compiled",
     "run_gathering_reference",
+    "solve_gathering",
     "run_solo",
     "SoloRun",
     "RegisterEvent",

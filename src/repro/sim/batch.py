@@ -1,10 +1,13 @@
 """Multiprocessing fan-out for simulation sweeps.
 
-The adversarial sweeps (labelings × start pairs × delays) are
+The adversarial sweeps (labelings × start pairs × delays) and the
+gathering grids (start sets × per-agent delay vectors) are
 embarrassingly parallel: every run is independent and the inputs are
-small.  This module fans a list of :class:`BatchJob` descriptions out over
-a process pool, routing each job through the fast backend dispatch
-(:func:`repro.sim.compiled.run_rendezvous_fast`).
+small.  This module fans lists of :class:`BatchJob` /
+:class:`GatheringJob` descriptions out over a process pool, routing each
+job through the fast backend dispatch
+(:func:`repro.sim.compiled.run_rendezvous_fast` /
+:func:`repro.sim.multi.run_gathering`).
 
 Robustness over raw throughput:
 
@@ -12,7 +15,12 @@ Robustness over raw throughput:
   jobs serially in-process (no pool overhead, easier debugging);
 - jobs that cannot be pickled (e.g. agents wrapping closures) make the
   whole batch fall back to the serial path rather than erroring — results
-  are identical, only slower;
+  are identical, only slower.  The probe covers *every* job, not just the
+  first: batches are allowed to be heterogeneous, pickling a
+  closure-holding agent raises ``AttributeError``/``TypeError`` rather
+  than ``PicklingError``, and catching those around ``pool.map`` instead
+  would swallow genuine worker exceptions — so the probe is deliberately
+  broad and the pool-failure catch deliberately narrow;
 - results always come back in job order.
 
 Explicit automata are picklable (:class:`~repro.agents.automaton.
@@ -28,14 +36,24 @@ import os
 import pickle
 import random
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence, TypeVar
 
 from ..agents.observations import AgentBase
 from ..trees.tree import Tree
 from .compiled import run_rendezvous_fast
 from .engine import RendezvousOutcome
+from .multi import GatheringOutcome, run_gathering
 
-__all__ = ["BatchJob", "run_batch", "derive_seed"]
+__all__ = [
+    "BatchJob",
+    "GatheringJob",
+    "run_batch",
+    "run_gathering_batch",
+    "derive_seed",
+]
+
+_J = TypeVar("_J")  # BatchJob | GatheringJob
+_O = TypeVar("_O")
 
 
 def derive_seed(master: int, *parts: object) -> int:
@@ -70,25 +88,69 @@ class BatchJob:
     certify: bool = False
     seed: Optional[int] = None
 
+    def apply(self, run: Callable[..., _O]) -> _O:
+        """Invoke a ``run_rendezvous``-shaped callable on this job — the
+        one place the job→kwargs expansion lives (the pool worker and
+        ``Backend.run_many`` both route through it)."""
+        return run(
+            self.tree,
+            self.prototype,
+            self.start1,
+            self.start2,
+            delay=self.delay,
+            delayed=self.delayed,
+            max_rounds=self.max_rounds,
+            certify=self.certify,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class GatheringJob:
+    """One independent k-agent gathering run (``BatchJob``'s k-agent twin).
+
+    ``delays`` aligns with ``starts`` (``None`` means all zero); ``seed``
+    behaves exactly as on :class:`BatchJob`.
+    """
+
+    tree: Tree
+    prototype: AgentBase
+    starts: tuple[int, ...]
+    delays: Optional[tuple[int, ...]] = None
+    max_rounds: int = 1_000_000
+    certify: bool = False
+    seed: Optional[int] = None
+
+    def apply(self, run: Callable[..., _O]) -> _O:
+        """Invoke a ``run_gathering``-shaped callable on this job (see
+        :meth:`BatchJob.apply`)."""
+        return run(
+            self.tree,
+            self.prototype,
+            list(self.starts),
+            delays=list(self.delays) if self.delays is not None else None,
+            max_rounds=self.max_rounds,
+            certify=self.certify,
+        )
+
 
 def _run_job(job: BatchJob) -> RendezvousOutcome:
     if job.seed is not None:
         random.seed(job.seed)
-    return run_rendezvous_fast(
-        job.tree,
-        job.prototype,
-        job.start1,
-        job.start2,
-        delay=job.delay,
-        delayed=job.delayed,
-        max_rounds=job.max_rounds,
-        certify=job.certify,
-    )
+    return job.apply(run_rendezvous_fast)
 
 
-def _picklable(jobs: Sequence[BatchJob]) -> bool:
+def _run_gathering_job(job: GatheringJob) -> GatheringOutcome:
+    if job.seed is not None:
+        random.seed(job.seed)
+    return job.apply(run_gathering)
+
+
+def _picklable(jobs: Sequence) -> bool:
+    # Probe the whole batch: heterogeneous batches may hold an unpicklable
+    # agent in any position, and crashing the pool mid-map is exactly what
+    # the serial fallback exists to avoid.
     try:
-        pickle.dumps(jobs[0])
+        pickle.dumps(list(jobs))
         return True
     except Exception:
         return False
@@ -100,7 +162,26 @@ def run_batch(
     processes: Optional[int] = None,
     chunksize: Optional[int] = None,
 ) -> list[RendezvousOutcome]:
-    """Run every job, in parallel when possible; results in job order."""
+    """Run every rendezvous job, in parallel when possible; job order kept."""
+    return _fan_out(jobs, _run_job, processes, chunksize)
+
+
+def run_gathering_batch(
+    jobs: Sequence[GatheringJob],
+    *,
+    processes: Optional[int] = None,
+    chunksize: Optional[int] = None,
+) -> list[GatheringOutcome]:
+    """Run every gathering job, in parallel when possible; job order kept."""
+    return _fan_out(jobs, _run_gathering_job, processes, chunksize)
+
+
+def _fan_out(
+    jobs: Sequence[_J],
+    run_one: Callable[[_J], _O],
+    processes: Optional[int],
+    chunksize: Optional[int],
+) -> list[_O]:
     jobs = list(jobs)
     if not jobs:
         return []
@@ -108,7 +189,7 @@ def run_batch(
         processes = os.cpu_count() or 1
     processes = min(processes, len(jobs))
     if processes <= 1 or not _picklable(jobs):
-        return _run_serial(jobs)
+        return _run_serial(jobs, run_one)
 
     import multiprocessing
 
@@ -120,18 +201,23 @@ def run_batch(
         chunksize = max(1, len(jobs) // (4 * processes))
     try:
         with ctx.Pool(processes) as pool:
-            return pool.map(_run_job, jobs, chunksize)
+            return pool.map(run_one, jobs, chunksize)
     except (pickle.PicklingError, OSError):  # pragma: no cover - env-specific
-        return _run_serial(jobs)
+        # Covers what the up-front probe cannot: a pickle failure on the
+        # *result* path, or pool breakage from the environment.  Kept
+        # narrow on purpose — the probe already vetted every job, so an
+        # AttributeError/TypeError here is a genuine worker bug that must
+        # surface, not trigger a full serial re-run.
+        return _run_serial(jobs, run_one)
 
 
-def _run_serial(jobs: Sequence[BatchJob]) -> list[RendezvousOutcome]:
+def _run_serial(jobs: Sequence[_J], run_one: Callable[[_J], _O]) -> list[_O]:
     """In-process execution; seeded jobs must not leak RNG state to the
     caller (pool workers are forked, so their reseeding dies with them)."""
     seeded = any(job.seed is not None for job in jobs)
     state = random.getstate() if seeded else None
     try:
-        return [_run_job(job) for job in jobs]
+        return [run_one(job) for job in jobs]
     finally:
         if state is not None:
             random.setstate(state)

@@ -44,7 +44,7 @@ from typing import Optional, Sequence
 
 from ..agents.automaton import Automaton
 from ..agents.observations import NULL_PORT, STAY, AgentBase, resolve_action
-from ..errors import SimulationError
+from ..errors import BudgetExceededError, SimulationError
 from ..trees.tree import Tree
 from .engine import RendezvousOutcome, run_rendezvous
 from .trace import RoundRecord, Trace
@@ -135,6 +135,36 @@ def compile_agent(automaton: Automaton, tree: Tree) -> CompiledAgent:
         compiled = CompiledAgent(automaton, key[0], key[1])
         cache[key] = compiled
     return compiled
+
+
+def _make_stepper(compiled: CompiledAgent, tree: Tree):
+    """One started-agent round over the flat tables:
+    ``(pos, state, ip-index) -> successor``.
+
+    Shared by the exact solvers (:func:`solve_all_delays` here and
+    :func:`repro.sim.gathering_solver.solve_gathering`) so the table
+    stepping semantics live in one place; the per-round simulation loops
+    keep their hand-inlined copies for speed.
+    """
+    stride, deg, move_to, move_in = tree.flat_move_tables()
+    width = stride + 1
+    nxt, act = compiled.next_state, compiled.action
+    automaton = compiled.automaton
+
+    def step_one(pos: int, st: int, ip: int) -> tuple[int, int, int]:
+        d = deg[pos]
+        idx = (st * width + ip) * width + d
+        s2 = nxt[idx]
+        if s2 == _INVALID:
+            automaton.transition(st, ip - 1, d)  # raises the real error
+            raise SimulationError("invalid transition entry")  # pragma: no cover
+        a = act[idx]
+        if a == STAY:
+            return pos, s2, 0
+        base = pos * stride + a
+        return move_to[base], s2, move_in[base] + 1
+
+    return step_one
 
 
 def _final_agents(
@@ -352,9 +382,9 @@ def solve_all_delays(
     ``delayed_sides``).  At θ = 0 the two sides are the same adversary
     choice, so — matching the sweep convention elsewhere — only one
     verdict is emitted for it (side 2 when requested, else the single
-    requested side).  Raises :class:`SimulationError` if more than
-    ``max_configs`` distinct configurations are explored (a guard, not a
-    round budget — the solver is otherwise exact).
+    requested side).  Raises :class:`~repro.errors.BudgetExceededError`
+    if more than ``max_configs`` distinct configurations are explored (a
+    guard, not a round budget — the solver is otherwise exact).
     """
     if not isinstance(prototype, Automaton):
         raise SimulationError("the all-delays solver requires a finite-state Automaton")
@@ -379,25 +409,9 @@ def solve_all_delays(
 
     compiled = compile_agent(prototype, tree)
     stride, deg, move_to, move_in = tree.flat_move_tables()
-    width = stride + 1
-    nxt, act = compiled.next_state, compiled.action
     start_act = compiled.start_action
     s0 = compiled.initial_state
-    automaton = compiled.automaton
-
-    def step_one(pos: int, st: int, ip: int) -> tuple[int, int, int]:
-        """One started-agent round: (pos, state, ip-index) -> successor."""
-        d = deg[pos]
-        idx = (st * width + ip) * width + d
-        s2 = nxt[idx]
-        if s2 == _INVALID:
-            automaton.transition(st, ip - 1, d)  # raises the real error
-            raise SimulationError("invalid transition entry")  # pragma: no cover
-        a = act[idx]
-        if a == STAY:
-            return pos, s2, 0
-        base = pos * stride + a
-        return move_to[base], s2, move_in[base] + 1
+    step_one = _make_stepper(compiled, tree)
 
     # verdict[config] = (True, k): meets k rounds after reaching config;
     #                   (False, -1): provably never meets from config.
@@ -423,7 +437,7 @@ def solve_all_delays(
             on_path[cur] = len(path)
             path.append(cur)
             if len(verdict) + len(path) > max_configs:
-                raise SimulationError(
+                raise BudgetExceededError(
                     f"all-delays solver exceeded max_configs={max_configs}"
                 )
             cur = (

@@ -1,0 +1,190 @@
+"""The batched k-agent gathering solver: joint-configuration recurrence.
+
+:func:`repro.sim.compiled.solve_all_delays` decides a whole two-agent
+delay sweep in one reachability pass over the product configuration
+graph.  This module extends the same technique to the gathering problem
+(§1.3's k > 2 extension): for finite-state agents, the joint
+configuration — every agent's ``(position, automaton state, entry
+port)`` — after a fully-started round determines the entire future, so
+each configuration's fate (*gathers after d more rounds* / *provably
+never gathers*) can be computed once and shared across every delay
+vector of a sweep.
+
+For one delay vector ``(θ_0, ..., θ_{k-1})`` the solver:
+
+1. replays the staggered prefix, rounds ``1 .. max(θ) + 1``, with the
+   flat-table loop (agents are still waking up, so the configuration is
+   not yet a pure function of its predecessor), checking gathering after
+   every round;
+2. from the configuration reached after round ``max(θ) + 1`` walks the
+   deterministic product configuration graph, memoizing each visited
+   configuration's fate in a dictionary shared across *all* delay
+   vectors of the call.
+
+Because the product graph is finite, every verdict is exact: exactly one
+of ``gathered`` / ``certified_never`` holds — the sweep executors never
+have to report a round-budget exhaustion as an answer.  ``max_configs``
+is a guard against pathological state-space blowups (k-agent spaces grow
+as ``(n·K·(Δ+1))^k``), not a round budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..agents.automaton import Automaton
+from ..agents.observations import STAY
+from ..errors import BudgetExceededError, SimulationError
+from ..trees.tree import Tree
+from .compiled import _make_stepper, compile_agent
+from .multi import _validate
+
+__all__ = ["GatheringVerdict", "solve_gathering"]
+
+_NEVER = (False, -1)
+
+
+@dataclass(frozen=True, slots=True)
+class GatheringVerdict:
+    """Fate of one per-agent delay vector.
+
+    :func:`solve_gathering` always decides (the product configuration
+    graph is finite): exactly one of ``gathered`` / ``certified_never``
+    is true in its output.  The budgeted sweep path
+    (``Backend.sweep_gathering`` over per-run engines) may return a
+    verdict with *neither* flag set — an undecided round-budget
+    exhaustion, which callers must never treat as a non-gathering proof.
+    """
+
+    delays: tuple[int, ...]
+    gathered: bool
+    gathering_round: Optional[int]
+    certified_never: bool
+
+
+def solve_gathering(
+    tree: Tree,
+    prototype: Automaton,
+    starts: Sequence[int],
+    delay_vectors: Sequence[Sequence[int]],
+    *,
+    max_configs: int = 4_000_000,
+) -> list[GatheringVerdict]:
+    """Decide gathering for every per-agent delay vector, exactly.
+
+    ``delay_vectors[j][i]`` is agent i's start delay in the j-th
+    adversary choice; each vector must have one entry per start.
+    Verdicts come back in ``delay_vectors`` order.  Raises
+    :class:`~repro.errors.BudgetExceededError` if more than
+    ``max_configs`` distinct joint configurations are explored (a guard,
+    not a round budget — the solver is otherwise exact) and
+    :class:`SimulationError` if ``prototype`` is not a finite-state
+    :class:`~repro.agents.automaton.Automaton`.
+    """
+    if not isinstance(prototype, Automaton):
+        raise SimulationError("the gathering solver requires a finite-state Automaton")
+    starts = list(starts)
+    vectors = [list(_validate(tree, starts, vec)) for vec in delay_vectors]
+    k = len(starts)
+
+    compiled = compile_agent(prototype, tree)
+    stride, deg, move_to, move_in = tree.flat_move_tables()
+    start_act = compiled.start_action
+    s0 = compiled.initial_state
+    step_one = _make_stepper(compiled, tree)
+
+    def step_joint(config: tuple) -> tuple:
+        return tuple(
+            x
+            for i in range(k)
+            for x in step_one(config[3 * i], config[3 * i + 1], config[3 * i + 2])
+        )
+
+    def is_meeting(config: tuple) -> bool:
+        first = config[0]
+        return all(config[3 * i] == first for i in range(1, k))
+
+    # verdict[config] = (True, d): gathers d rounds after reaching config;
+    #                   (False, -1): provably never gathers from config.
+    verdict: dict[tuple, tuple[bool, int]] = {}
+
+    def resolve(config: tuple) -> tuple[bool, int]:
+        """Fate of ``config`` (the joint configuration after some
+        fully-started round) — cf. ``solve_all_delays``'s resolver."""
+        path: list[tuple] = []
+        on_path: dict[tuple, int] = {}
+        cur = config
+        while True:
+            known = verdict.get(cur)
+            if known is not None:
+                res = known
+                break
+            if is_meeting(cur):
+                res = (True, 0)
+                verdict[cur] = res
+                break
+            if cur in on_path:  # fresh cycle, and no gathering on it
+                res = _NEVER
+                break
+            on_path[cur] = len(path)
+            path.append(cur)
+            if len(verdict) + len(path) > max_configs:
+                raise BudgetExceededError(
+                    f"gathering solver exceeded max_configs={max_configs}"
+                )
+            cur = step_joint(cur)
+        met, dist = res
+        if met:
+            for c in reversed(path):
+                dist += 1
+                verdict[c] = (True, dist)
+        else:
+            for c in path:
+                verdict[c] = _NEVER
+        return verdict[config]
+
+    out: list[GatheringVerdict] = []
+    for delays in vectors:
+        key = tuple(delays)
+        if len(set(starts)) == 1:
+            out.append(GatheringVerdict(key, True, 0, False))
+            continue
+
+        # Staggered prefix: rounds 1 .. max(delays) + 1.  After the last
+        # of these every agent has executed its start action and the
+        # joint configuration becomes a pure function of its predecessor.
+        first_joint = max(delays) + 1
+        pos = list(starts)
+        st = [0] * k
+        ip = [0] * k
+        started = [False] * k
+        gathered_at: Optional[int] = None
+        for rnd in range(1, first_joint + 1):
+            for i in range(k):
+                if started[i]:
+                    pos[i], st[i], ip[i] = step_one(pos[i], st[i], ip[i])
+                elif rnd > delays[i]:
+                    started[i] = True
+                    st[i] = s0
+                    a = start_act[deg[pos[i]]]
+                    if a == STAY:
+                        ip[i] = 0
+                    else:
+                        base = pos[i] * stride + a
+                        pos[i] = move_to[base]
+                        ip[i] = move_in[base] + 1
+            if all(p == pos[0] for p in pos):
+                gathered_at = rnd
+                break
+        if gathered_at is not None:
+            out.append(GatheringVerdict(key, True, gathered_at, False))
+            continue
+
+        entry = tuple(x for i in range(k) for x in (pos[i], st[i], ip[i]))
+        met, dist = resolve(entry)
+        if met:
+            out.append(GatheringVerdict(key, True, first_joint + dist, False))
+        else:
+            out.append(GatheringVerdict(key, False, None, True))
+    return out

@@ -33,12 +33,31 @@ from ..errors import SimulationError
 from ..trees.tree import Tree
 from .compiled import _INVALID, compile_agent, supports_compilation
 
-__all__ = ["GatheringOutcome", "run_gathering", "run_gathering_reference"]
+# The per-agent bookkeeping (and the certification key) is exactly the
+# two-agent engine's; reusing it keeps the joint-configuration semantics
+# defined in one place.
+from .engine import _AgentState as _State
+
+__all__ = [
+    "GatheringOutcome",
+    "run_gathering",
+    "run_gathering_reference",
+    "run_gathering_compiled",
+]
 
 
 @dataclass(frozen=True)
 class GatheringOutcome:
-    """Result of a k-agent gathering run."""
+    """Result of a k-agent gathering run.
+
+    Exactly one of three verdicts holds (mirroring
+    :class:`~repro.sim.engine.RendezvousOutcome`):
+
+    - ``gathered`` — all agents co-located at ``gathering_round``;
+    - ``certified_never`` — a joint-configuration recurrence proves the
+      agents can never gather (``certify`` runs on finite-state agents);
+    - neither — the round budget ran out without a verdict.
+    """
 
     gathered: bool
     gathering_round: Optional[int]
@@ -46,19 +65,15 @@ class GatheringOutcome:
     rounds_executed: int
     positions: tuple[int, ...]  # final positions
     largest_cluster: int  # max #agents ever co-located in a single round
+    certified_never: bool = False
+
+    @property
+    def undecided(self) -> bool:
+        return not self.gathered and not self.certified_never
 
     @property
     def num_agents(self) -> int:
         return len(self.positions)
-
-
-@dataclass
-class _State:
-    agent: AgentBase
-    pos: int
-    start_round: int
-    started: bool = False
-    in_port: int = NULL_PORT
 
 
 def _validate(tree: Tree, starts: Sequence[int], delays) -> list[int]:
@@ -80,11 +95,14 @@ def run_gathering(
     *,
     delays: Optional[Sequence[int]] = None,
     max_rounds: int = 1_000_000,
+    certify: bool = False,
 ) -> GatheringOutcome:
     """Run ``len(starts)`` copies of ``prototype`` until they all co-locate.
 
     ``delays[i]`` (default all 0) is agent i's start delay.  Agents that
-    have not started yet still occupy their start node.
+    have not started yet still occupy their start node.  ``certify``
+    detects a joint-configuration recurrence to certify non-gathering
+    (finite-state agents; silently ignored when agents expose no state).
 
     Finite-state prototypes are dispatched to the compiled table-driven
     loop; everything else runs on :func:`run_gathering_reference`.
@@ -92,9 +110,11 @@ def run_gathering(
     delay_list = _validate(tree, starts, delays)
     if supports_compilation(prototype):
         return _run_gathering_compiled(
-            tree, prototype, list(starts), delay_list, max_rounds
+            tree, prototype, list(starts), delay_list, max_rounds, certify
         )
-    return _run_gathering_loop(tree, prototype, list(starts), delay_list, max_rounds)
+    return _run_gathering_loop(
+        tree, prototype, list(starts), delay_list, max_rounds, certify
+    )
 
 
 def run_gathering_reference(
@@ -104,10 +124,33 @@ def run_gathering_reference(
     *,
     delays: Optional[Sequence[int]] = None,
     max_rounds: int = 1_000_000,
+    certify: bool = False,
 ) -> GatheringOutcome:
     """The oracle loop, forced for every agent type (parity testing)."""
     delay_list = _validate(tree, starts, delays)
-    return _run_gathering_loop(tree, prototype, list(starts), delay_list, max_rounds)
+    return _run_gathering_loop(
+        tree, prototype, list(starts), delay_list, max_rounds, certify
+    )
+
+
+def run_gathering_compiled(
+    tree: Tree,
+    prototype: AgentBase,
+    starts: Sequence[int],
+    *,
+    delays: Optional[Sequence[int]] = None,
+    max_rounds: int = 1_000_000,
+    certify: bool = False,
+) -> GatheringOutcome:
+    """The table-driven loop, forced (requires a finite-state Automaton)."""
+    if not supports_compilation(prototype):
+        raise SimulationError(
+            "compiled gathering requires a finite-state Automaton"
+        )
+    delay_list = _validate(tree, starts, delays)
+    return _run_gathering_compiled(
+        tree, prototype, list(starts), delay_list, max_rounds, certify
+    )
 
 
 def _run_gathering_loop(
@@ -116,6 +159,7 @@ def _run_gathering_loop(
     starts: list[int],
     delay_list: list[int],
     max_rounds: int,
+    certify: bool = False,
 ) -> GatheringOutcome:
     agents = [
         _State(prototype.clone(), pos, delay)
@@ -134,6 +178,16 @@ def _run_gathering_loop(
             True, 0, agents[0].pos, 0, tuple(a.pos for a in agents), largest
         )
 
+    # Certification mirrors the two-agent engine: once every agent has
+    # executed its start action (round max(delays) + 1), the joint
+    # configuration is a pure function of the previous one, so a
+    # recurrence with no gathering in between proves non-gathering.
+    certifiable = certify and all(
+        getattr(a.agent, "state", None) is not None for a in agents
+    )
+    first_joint = max(delay_list) + 1
+    seen: set[tuple] = set()
+
     for rnd in range(1, max_rounds + 1):
         actions = [_action(tree, a, rnd) for a in agents]
         for a, act in zip(agents, actions):
@@ -147,6 +201,14 @@ def _run_gathering_loop(
             return GatheringOutcome(
                 True, rnd, agents[0].pos, rnd, tuple(a.pos for a in agents), largest
             )
+        if certifiable and rnd > first_joint:
+            key = tuple(a.config_key() for a in agents)
+            if key in seen:
+                return GatheringOutcome(
+                    False, None, None, rnd,
+                    tuple(a.pos for a in agents), largest, True,
+                )
+            seen.add(key)
     return GatheringOutcome(
         False, None, None, max_rounds, tuple(a.pos for a in agents), largest
     )
@@ -170,12 +232,16 @@ def _run_gathering_compiled(
     starts: list[int],
     delay_list: list[int],
     max_rounds: int,
+    certify: bool = False,
 ) -> GatheringOutcome:
     """Table-driven replay of the reference gathering loop.
 
     Each agent's action depends only on its own (position, state, entry
     port), so per-agent sequential updates within a round are equivalent
-    to the reference's compute-all-then-move order.
+    to the reference's compute-all-then-move order.  ``certify`` uses
+    Brent cycle detection on the k-agent joint configuration — O(1)
+    memory, same verdicts as the reference's ``seen``-set (the round a
+    certificate fires at may differ, as with the two-agent backends).
     """
     compiled = compile_agent(prototype, tree)
     stride, deg, move_to, move_in = tree.flat_move_tables()
@@ -200,6 +266,12 @@ def _run_gathering_compiled(
     largest = cluster_size()
     if largest == k:
         return GatheringOutcome(True, 0, pos[0], 0, tuple(pos), largest)
+
+    first_joint = max(delay_list) + 1
+    # Brent cycle detection state (see run_rendezvous_compiled).
+    anchor: Optional[tuple] = None
+    steps = 0
+    power = 1
 
     for rnd in range(1, max_rounds + 1):
         for i in range(k):
@@ -228,4 +300,15 @@ def _run_gathering_compiled(
         largest = max(largest, size)
         if size == k:
             return GatheringOutcome(True, rnd, pos[0], rnd, tuple(pos), largest)
+        if certify and rnd > first_joint:
+            config = tuple(x for i in range(k) for x in (pos[i], st[i], ip[i]))
+            if config == anchor:
+                return GatheringOutcome(
+                    False, None, None, rnd, tuple(pos), largest, True
+                )
+            steps += 1
+            if steps == power:
+                anchor = config
+                steps = 0
+                power <<= 1
     return GatheringOutcome(False, None, None, max_rounds, tuple(pos), largest)

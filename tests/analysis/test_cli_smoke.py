@@ -26,6 +26,8 @@ SMOKE_ARGV = {
     "thm43": ["--states", "3", "-i", "4"],
     "verify": ["-n", "4"],
     "gather": ["--tree", "spider:2,2,2", "--starts", "1,3,5"],
+    "gather-sweep": ["--tree", "line:9", "--agent", "counting:2",
+                     "--starts", "0,1,3", "--delays", "0,0,0;1,0,2"],
     "viz": ["--tree", "star:3"],
     "report": [],
     "experiments": ["--quick"],
@@ -51,6 +53,18 @@ def test_subcommand_exits_zero(command, capsys):
     out = capsys.readouterr().out
     assert rc == 0, f"{command} exited {rc}:\n{out}"
     assert out.strip(), f"{command} printed nothing"
+
+
+@pytest.mark.parametrize("name", ["gathering-line-k4", "gathering-spider-k3"])
+def test_gathering_scenarios_run_with_backend_parity(name, capsys):
+    """`repro scenarios run <gathering>` prints identical outcome tables
+    under --backend reference and --backend compiled."""
+    tables = {}
+    for backend in ("reference", "compiled"):
+        rc = main(["scenarios", "run", name, "--backend", backend])
+        assert rc == 0
+        tables[backend] = capsys.readouterr().out.split("\nscenario=")[0]
+    assert tables["reference"] == tables["compiled"]
 
 
 def test_scenarios_list_names_everything(capsys):

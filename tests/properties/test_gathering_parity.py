@@ -1,0 +1,116 @@
+"""Property tests: the k-agent gathering stack agrees with the oracle.
+
+Three layers must produce identical verdicts on randomized
+(tree, automaton, starts, per-agent delays) instances:
+
+- ``run_gathering`` (compiled table loop, Brent certification) vs
+  ``run_gathering_reference`` (readable loop, ``seen``-set certificate);
+- ``solve_gathering`` (the shared-memo joint-configuration solver) vs
+  certified per-vector runs;
+- certified-never verdicts are additionally cross-checked by exhaustive
+  replay: the reference loop, given a budget larger than the joint
+  cycle the certificate found, must itself certify (never merely stall).
+
+Budgets follow tests/properties/test_backend_parity.py: the joint
+configuration space has at most ``(n·K·(Δ+1))^k`` states, so the
+``seen``-set certificate fires within one period and Brent's anchor
+within a small constant factor of it.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import run_gathering, run_gathering_reference, solve_gathering
+from repro.agents import Automaton
+from repro.trees import random_relabel, random_tree
+
+
+@st.composite
+def gathering_instances(draw, max_n=7, max_states=2, max_k=3):
+    n = draw(st.integers(3, max_n))
+    tree_seed = draw(st.integers(0, 2**20))
+    rng = random.Random(tree_seed)
+    tree = random_relabel(random_tree(n, rng), rng)
+    num_states = draw(st.integers(1, max_states))
+    dmax = tree.max_degree()
+    table = {
+        (s, ip, d): draw(st.integers(0, num_states - 1))
+        for s in range(num_states)
+        for ip in range(-1, dmax)
+        for d in range(1, dmax + 1)
+    }
+    output = [draw(st.integers(-1, 2)) for _ in range(num_states)]
+    agent = Automaton(num_states, table, output, draw(st.integers(0, num_states - 1)))
+    k = draw(st.integers(2, max_k))
+    starts = [draw(st.integers(0, n - 1)) for _ in range(k)]
+    delays = [draw(st.integers(0, 4)) for _ in range(k)]
+    return tree, agent, starts, delays
+
+
+def decisive_budget(tree, agent, delays, k):
+    period = (tree.n * agent.num_states * (tree.max_degree() + 1)) ** k
+    return 4 * period + max(delays) + 8
+
+
+def verdict(outcome):
+    return (outcome.gathered, outcome.gathering_round, outcome.certified_never)
+
+
+@settings(max_examples=50, deadline=None)
+@given(gathering_instances())
+def test_compiled_reference_verdict_parity(instance):
+    tree, agent, starts, delays = instance
+    budget = decisive_budget(tree, agent, delays, len(starts))
+    ref = run_gathering_reference(
+        tree, agent, starts, delays=delays, max_rounds=budget, certify=True
+    )
+    fast = run_gathering(
+        tree, agent, starts, delays=delays, max_rounds=budget, certify=True
+    )
+    assert verdict(ref) == verdict(fast)
+    assert not ref.undecided  # the budget is decisive by construction
+    if ref.gathered:
+        # On a meeting the full outcomes agree field by field; on a
+        # certificate only the verdict does (the detection round and the
+        # final positions depend on the cycle-detector, as documented).
+        assert ref == fast
+
+
+@settings(max_examples=25, deadline=None)
+@given(gathering_instances())
+def test_solver_matches_certified_runs(instance):
+    tree, agent, starts, base = instance
+    vectors = [base, [0] * len(base), list(reversed(base))]
+    verdicts = solve_gathering(tree, agent, starts, vectors)
+    assert [v.delays for v in verdicts] == [tuple(v) for v in vectors]
+    for vec, v in zip(vectors, verdicts):
+        assert v.gathered != v.certified_never  # the solver always decides
+        budget = decisive_budget(tree, agent, vec, len(starts))
+        ref = run_gathering_reference(
+            tree, agent, starts, delays=vec, max_rounds=budget, certify=True
+        )
+        assert (v.gathered, v.gathering_round, v.certified_never) == verdict(ref)
+
+
+@settings(max_examples=25, deadline=None)
+@given(gathering_instances(max_n=6, max_states=2, max_k=3))
+def test_certified_never_survives_exhaustive_replay(instance):
+    tree, agent, starts, delays = instance
+    (v,) = solve_gathering(tree, agent, starts, [delays])
+    if not v.certified_never:
+        return
+    # Exhaustive replay: with a budget past the full joint period the
+    # reference loop must re-derive the certificate, and no prefix of
+    # the execution may gather.
+    budget = decisive_budget(tree, agent, delays, len(starts))
+    ref = run_gathering_reference(
+        tree, agent, starts, delays=delays, max_rounds=budget, certify=True
+    )
+    assert not ref.gathered
+    assert ref.certified_never
+    uncertified = run_gathering_reference(
+        tree, agent, starts, delays=delays, max_rounds=2000, certify=False
+    )
+    assert not uncertified.gathered

@@ -14,7 +14,8 @@ from repro.scenarios import (
 )
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
-GOLDEN = REPO_ROOT / "benchmarks" / "results" / "golden" / "thm31-sweep.json"
+GOLDEN_DIR = REPO_ROOT / "benchmarks" / "results" / "golden"
+GOLDEN_NAMES = sorted(p.stem for p in GOLDEN_DIR.glob("*.json"))
 
 
 @pytest.fixture(scope="module")
@@ -35,6 +36,72 @@ class TestStoreRoundtrip:
     def test_load_missing(self, tmp_path):
         with pytest.raises(ScenarioError):
             ResultStore(tmp_path).load("ghost")
+
+    def test_dotted_names_stay_store_names(self, result, tmp_path):
+        # Regression: load() used to misroute any name whose final dot
+        # segment looked like a suffix to the filesystem instead of the
+        # store.  Dotted names (e.g. versioned results) must round-trip.
+        import dataclasses
+
+        store = ResultStore(tmp_path)
+        spec = dataclasses.replace(result.spec, name="thm31.v2")
+        renamed = dataclasses.replace(result, spec=spec)
+        path = store.save(renamed)
+        assert path == tmp_path / "thm31.v2.json"
+        payload = store.load("thm31.v2")
+        assert payload["scenario"] == "thm31.v2"
+        assert store.names() == ["thm31.v2"]
+        assert store.diff("thm31.v2", "thm31.v2") == []
+
+    def test_json_suffixed_name_without_file_resolves_in_store(self, result, tmp_path):
+        # "res.json" with no such file in the CWD must resolve to the
+        # stored result "res" (never the double-suffix res.json.json),
+        # and a miss must report the store path, not a CWD-relative one.
+        store = ResultStore(tmp_path)
+        store.save(result)
+        payload = store.load(f"{result.name}.json")
+        assert payload["scenario"] == result.name
+        with pytest.raises(ScenarioError) as exc:
+            store.load("ghost.json")
+        assert str(tmp_path / "ghost.json") in str(exc.value)
+
+    def test_json_suffixed_existing_file_wins(self, result, tmp_path, monkeypatch):
+        # An existing file of that exact relative path is an explicit
+        # reference and takes precedence over the store entry.
+        store = ResultStore(tmp_path / "store")
+        store.save(result)
+        other = ResultStore(tmp_path / "cwd")
+        other.save(result)
+        monkeypatch.chdir(tmp_path / "cwd")
+        payload = store.load(f"{result.name}.json")
+        assert payload["scenario"] == result.name  # the CWD file loaded
+
+    def test_path_for_rejects_path_separators(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for bad in ("a/b", "..", "../escape", "a\\b", ""):
+            with pytest.raises(ScenarioError):
+                store.path_for(bad)
+
+    def test_path_for_rejects_json_suffixed_names(self, tmp_path):
+        # Such a name would save as <name>.json.json and load() could
+        # never find it again by name.
+        with pytest.raises(ScenarioError):
+            ResultStore(tmp_path).path_for("runA.json")
+
+    def test_explicit_paths_still_load(self, result, tmp_path):
+        store = ResultStore(tmp_path)
+        saved = store.save(result)
+        assert store.load(saved)["scenario"] == result.name  # Path object
+        assert store.load(str(saved))["scenario"] == result.name  # str path
+
+    def test_store_relative_subdirectory_names_load(self, tmp_path, monkeypatch):
+        # `load("golden/thm31-sweep")` on the real results store must
+        # find <root>/golden/thm31-sweep.json from any CWD.
+        store = ResultStore(REPO_ROOT / "benchmarks" / "results")
+        monkeypatch.chdir(tmp_path)
+        payload = store.load("golden/thm31-sweep")
+        assert payload["scenario"] == "thm31-sweep"
+        assert store.load("golden/thm31-sweep.json") == payload
 
 
 class TestValidation:
@@ -86,17 +153,24 @@ class TestDiff:
 
 
 class TestGoldenSample:
-    """The checked-in golden result stays reproducible (satellite: the
-    .txt artifacts were replaced by schema-validated JSON)."""
+    """The checked-in golden results stay reproducible (satellites: the
+    .txt artifacts were replaced by schema-validated JSON; the gathering
+    workload ships its own golden grid)."""
 
-    def test_golden_validates(self):
-        payload = json.loads(GOLDEN.read_text())
+    def test_expected_goldens_present(self):
+        assert "thm31-sweep" in GOLDEN_NAMES
+        assert "gathering-line-k3" in GOLDEN_NAMES
+
+    @pytest.mark.parametrize("name", GOLDEN_NAMES)
+    def test_golden_validates(self, name):
+        payload = json.loads((GOLDEN_DIR / f"{name}.json").read_text())
         validate_payload(payload)
-        assert payload["scenario"] == "thm31-sweep"
+        assert payload["scenario"] == name
 
-    def test_golden_matches_fresh_run(self):
-        payload = json.loads(GOLDEN.read_text())
-        fresh = Runner().run("thm31-sweep")
+    @pytest.mark.parametrize("name", GOLDEN_NAMES)
+    def test_golden_matches_fresh_run(self, name):
+        payload = json.loads((GOLDEN_DIR / f"{name}.json").read_text())
+        fresh = Runner().run(name)
         assert fresh.spec_hash() == payload["spec_hash"]
         assert fresh.rows == payload["rows"]
         assert fresh.summary == payload["summary"]

@@ -3,8 +3,15 @@
 import pickle
 
 from repro.agents import STAY, Automaton, LineAutomaton
-from repro.sim import BatchJob, adversarial_search, run_batch
-from repro.trees import edge_colored_line, line
+from repro.sim import (
+    BatchJob,
+    GatheringJob,
+    adversarial_search,
+    run_batch,
+    run_gathering_batch,
+    run_gathering_reference,
+)
+from repro.trees import edge_colored_line, line, spider
 
 
 def walker():
@@ -42,6 +49,21 @@ def test_unpicklable_prototype_falls_back_to_serial():
     assert out.certified_never
 
 
+def test_heterogeneous_batch_with_unpicklable_later_job():
+    # Regression: the picklability probe used to look at jobs[0] only, so
+    # a batch whose *later* job held a closure agent crashed inside
+    # pool.map (pickling a closure raises AttributeError/TypeError, which
+    # the old `except (PicklingError, OSError)` did not catch either).
+    closure_agent = Automaton(1, lambda s, ip, d: 0, [STAY])
+    jobs = [
+        BatchJob(line(5), walker(), 0, 4, max_rounds=50, certify=True),
+        BatchJob(line(5), closure_agent, 1, 3, max_rounds=50, certify=True),
+    ]
+    first, second = run_batch(jobs, processes=4)
+    assert first.met or first.certified_never  # decided, not crashed
+    assert second.certified_never
+
+
 def test_line_automaton_pickle_roundtrip():
     agent = LineAutomaton([(0, 1), (1, 0)], [0, 1], initial_state=1)
     agent.step(0, 2)  # advance the runtime state past the initial one
@@ -51,6 +73,56 @@ def test_line_automaton_pickle_roundtrip():
     assert copy.initial_state == agent.initial_state
     assert copy.pi_prime() == agent.pi_prime()
     assert copy.state == agent.state  # mid-run state survives the pool hop
+
+
+def gathering_jobs_fixture():
+    t = spider([2, 2, 2])
+    return [
+        GatheringJob(t, walker(), starts, delays=delays,
+                     max_rounds=4000, certify=True)
+        for starts, delays in [
+            ((1, 3, 5), None),
+            ((1, 3, 5), (0, 1, 2)),
+            ((2, 4, 6), (3, 0, 0)),
+            ((1, 2, 3, 4), None),
+        ]
+    ]
+
+
+def as_gathering_verdicts(outcomes):
+    return [(o.gathered, o.gathering_round, o.certified_never) for o in outcomes]
+
+
+def test_gathering_batch_serial_and_parallel_agree():
+    serial = run_gathering_batch(gathering_jobs_fixture(), processes=1)
+    parallel = run_gathering_batch(gathering_jobs_fixture(), processes=2)
+    assert as_gathering_verdicts(serial) == as_gathering_verdicts(parallel)
+    assert run_gathering_batch([]) == []
+
+
+def test_gathering_batch_matches_reference_loop():
+    outcomes = run_gathering_batch(gathering_jobs_fixture(), processes=2)
+    for job, out in zip(gathering_jobs_fixture(), outcomes):
+        ref = run_gathering_reference(
+            job.tree, job.prototype, list(job.starts),
+            delays=list(job.delays) if job.delays else None,
+            max_rounds=job.max_rounds, certify=True,
+        )
+        assert (out.gathered, out.gathering_round, out.certified_never) == (
+            ref.gathered, ref.gathering_round, ref.certified_never,
+        )
+
+
+def test_gathering_batch_unpicklable_falls_back():
+    agent = Automaton(1, lambda s, ip, d: 0, [STAY])
+    jobs = [
+        GatheringJob(spider([2, 2, 2]), walker(), (1, 3, 5),
+                     max_rounds=200, certify=True),
+        GatheringJob(line(5), agent, (1, 3), max_rounds=200, certify=True),
+    ]
+    outcomes = run_gathering_batch(jobs, processes=4)
+    assert len(outcomes) == 2
+    assert all(o.gathered or o.certified_never for o in outcomes)
 
 
 def test_adversarial_search_parallel_matches_serial():

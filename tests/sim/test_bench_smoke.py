@@ -42,3 +42,30 @@ def test_bench_engine_quick_emits_json(tmp_path):
     assert sweep["verdicts_match"], "batch solver diverged from the reference"
     assert sweep["speedup"] >= 5
     assert payload["throughput"]["speedup"] > 1.0
+
+
+def load_bench_gathering():
+    path = REPO_ROOT / "benchmarks" / "bench_gathering.py"
+    spec = importlib.util.spec_from_file_location("bench_gathering", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["bench_gathering"] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.bench_smoke
+def test_bench_gathering_quick_emits_result(tmp_path):
+    # Quick mode runs the first gathering grid and persists its
+    # schema-validated result into tmp_path (never the working tree).
+    results = load_bench_gathering().main(quick=True, out_dir=tmp_path)
+
+    (name,) = results
+    path = tmp_path / f"{name}.json"
+    assert path.exists()
+    on_disk = json.loads(path.read_text())
+    assert on_disk["kind"] == "gathering_sweep"
+    assert on_disk["summary"]["ok"] is True
+    assert on_disk["summary"]["undecided"] == 0
+    # the registry defaults exercise both verdict classes
+    verdicts = {row["verdict"] for row in on_disk["rows"]}
+    assert verdicts == {"met", "certified-never"}
