@@ -5,11 +5,12 @@ PY := PYTHONPATH=src python
 test:
 	$(PY) -m pytest -x -q
 
-# Quick benchmark smokes: refresh BENCH_engine.json and the first
-# gathering grid's JSON result in seconds.
+# Quick benchmark smokes: refresh BENCH_engine.json (engine + lowering
+# sections) and the first gathering grid's JSON result in seconds.
 bench-smoke:
 	$(PY) benchmarks/bench_engine.py --quick
 	$(PY) benchmarks/bench_gathering.py --quick
+	$(PY) benchmarks/bench_lowering.py --quick
 
 # Full-size engine-backend benchmark (the numbers quoted in the README).
 bench-engine:

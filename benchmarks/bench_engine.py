@@ -94,12 +94,22 @@ def _delay_sweep(quick: bool) -> dict:
 
 
 def main(quick: bool = False, out_dir: Path | None = None) -> dict:
-    payload = {
-        "bench": "engine-backends",
-        "quick": quick,
-        "throughput": _throughput(quick),
-        "delay_sweep": _delay_sweep(quick),
-    }
+    import json
+
+    from _util import REPO_ROOT
+
+    # merge into the existing trajectory file: bench_lowering.py records
+    # its own "lowering" section into the same JSON
+    target = (out_dir or REPO_ROOT) / "BENCH_engine.json"
+    payload = json.loads(target.read_text()) if target.exists() else {}
+    payload.update(
+        {
+            "bench": "engine-backends",
+            "quick": quick,
+            "throughput": _throughput(quick),
+            "delay_sweep": _delay_sweep(quick),
+        }
+    )
     record_json("BENCH_engine", payload, out_dir)
     return payload
 

@@ -15,6 +15,7 @@ from .library import (
     pausing_walker,
     random_tree_automaton,
 )
+from .lowering import LoweredAutomaton, lower_to_automaton, machine_state_key
 from .observations import NULL_PORT, STAY, AgentBase, resolve_action
 from .program import AgentProgram, Ctx, Registers, move, stay
 
@@ -31,6 +32,9 @@ __all__ = [
     "Ctx",
     "move",
     "stay",
+    "LoweredAutomaton",
+    "lower_to_automaton",
+    "machine_state_key",
     "FunctionalDigraph",
     "analyze_functional",
     "lcm_of",

@@ -75,6 +75,60 @@ class Registers:
     def __getitem__(self, name: str) -> int:
         return self._values[name]
 
+    # -- lowering support ---------------------------------------------------
+    def snapshot(self) -> dict[str, dict[str, int]]:
+        """A restorable copy of the full bank: bounds, values *and* peaks.
+
+        ``restore`` puts all three back, so peak accounting rewinds with
+        the values.  This is the bank-capture API for exploratory
+        tooling (notebooks, instrumented drivers that try a branch and
+        back out); the lowering passes themselves identify machine
+        states through :meth:`state_key` and re-derive successors by
+        replaying fresh clones — a generator cannot be forked, so a
+        register snapshot alone can never restore a machine state.
+        """
+        return {
+            "bounds": dict(self._bounds),
+            "values": dict(self._values),
+            "peaks": dict(self._peaks),
+        }
+
+    def restore(self, snapshot: dict[str, dict[str, int]]) -> None:
+        """Restore a bank previously captured by :meth:`snapshot`."""
+        self._bounds = dict(snapshot["bounds"])
+        self._values = dict(snapshot["values"])
+        self._peaks = dict(snapshot["peaks"])
+
+    def release(self, name: str) -> None:
+        """Forget a register's *value* while keeping its memory account.
+
+        The paper's agents reuse their bounded memory between stages; a
+        program that is done with a counter releases it so that two
+        machine states differing only in dead stage-local values compare
+        equal (:meth:`state_key`) — which is what lets the lowering
+        subsystem share trace suffixes across start nodes.  The declared
+        bound and the recorded peak stay: releasing never shrinks the
+        analytic or empirical memory account.
+        """
+        if name not in self._bounds:
+            raise AgentProtocolError(f"register {name!r} was never declared")
+        self._values.pop(name, None)
+
+    def state_key(self) -> tuple:
+        """Hashable key of the *generator-visible* bank state.
+
+        Covers every declared register's current bound (re-declaration
+        widening changes which assignments are legal, so bounds are
+        behavior) and current value (``None`` once released).  Peaks are
+        excluded: they are accounting the program can never read, so two
+        machine states that differ only in peaks behave identically
+        forever.
+        """
+        return tuple(
+            (name, self._bounds[name], self._values.get(name))
+            for name in sorted(self._bounds)
+        )
+
     def bits_declared(self) -> int:
         """Analytic memory: sum of declared register widths, in bits."""
         return sum(
@@ -165,6 +219,17 @@ class AgentProgram:
     def finished(self) -> bool:
         """True once the program returned (the agent waits forever)."""
         return self._done
+
+    @property
+    def generator(self) -> Optional[Routine]:
+        """The live routine generator (``None`` before :meth:`start`).
+
+        Exposed for the lowering subsystem
+        (:mod:`repro.agents.lowering`), which freezes the generator's
+        frame chain into machine-state keys; ordinary simulation code
+        should drive the agent through ``start``/``step`` only.
+        """
+        return self._gen
 
     def memory_bits_declared(self) -> int:
         return self.registers.bits_declared()

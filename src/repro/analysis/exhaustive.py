@@ -8,9 +8,11 @@ These sweep *every* non-isomorphic tree up to a size bound:
 - :func:`verify_fact_11_impossibility`: on every perfectly symmetrizable
   pair there is a labeling making the positions symmetric; under that
   labeling the two agents provably mirror each other forever, and we check
-  they do not meet within a generous budget (program agents have no finite
-  configuration certificate, so this direction is observational — the
-  certified direction lives in :mod:`repro.lowerbounds`).
+  they do not meet within a generous budget (the reference engine has no
+  finite configuration certificate for program agents, so this direction
+  is observational here — the certified direction lives in
+  :mod:`repro.lowerbounds`, and the lowered backend can additionally
+  certify such runs when the traced machine state lassos).
 
 Both functions return structured reports; the test-suite asserts their
 verdicts, and the CLI exposes them for users who want to re-run the
@@ -52,9 +54,20 @@ def verify_theorem_41(
     random_labelings: int = 2,
     seed: int = 0,
     max_outer: int = 10,
+    engine=None,
 ) -> ExhaustiveReport:
-    """Every feasible pair of every tree up to ``max_n`` nodes must meet."""
+    """Every feasible pair of every tree up to ``max_n`` nodes must meet.
+
+    ``engine`` routes the runs through a scenario backend.  One shared
+    prototype serves the whole sweep (engines clone per run), which is
+    what lets a lowering backend's trace cache decide every pair of a
+    labeled tree from at most ``n`` interpreted solo runs — the step
+    that makes ``verify-small`` scale past n = 8.
+    """
+    from ..core.algorithm import rendezvous_agent
+
     rng = random.Random(seed)
+    prototype = rendezvous_agent(max_outer=max_outer)
     report = ExhaustiveReport()
     for n in range(2, max_n + 1):
         for tree in all_trees(n):
@@ -68,7 +81,10 @@ def verify_theorem_41(
                         if perfectly_symmetrizable(labeled, u, v):
                             continue
                         report.instances += 1
-                        result = solve(labeled, u, v, max_outer=max_outer)
+                        result = solve(
+                            labeled, u, v, max_outer=max_outer,
+                            agent=prototype, engine=engine,
+                        )
                         if not result.met:
                             report.failures.append((n, u, v, labeled))
     return report
@@ -78,6 +94,7 @@ def verify_fact_11_impossibility(
     max_n: int = 7,
     budget_rounds: int = 60_000,
     max_outer: int = 6,
+    engine=None,
 ) -> ExhaustiveReport:
     """For every perfectly symmetrizable pair, find a witnessing symmetric
     labeling and observe that the Theorem 4.1 agents do not meet on it.
@@ -89,6 +106,8 @@ def verify_fact_11_impossibility(
     from ..core.algorithm import rendezvous_agent
     from ..trees.labelings import all_labelings
 
+    run = engine if engine is not None else run_rendezvous_fast
+    prototype = rendezvous_agent(max_outer=max_outer)
     report = ExhaustiveReport()
     for n in range(2, max_n + 1):
         for tree in all_trees(n):
@@ -107,9 +126,9 @@ def verify_fact_11_impossibility(
                 for u, v in hit:
                     remaining.discard((u, v))
                     report.instances += 1
-                    out = run_rendezvous_fast(
+                    out = run(
                         labeled,
-                        rendezvous_agent(max_outer=max_outer),
+                        prototype,
                         u,
                         v,
                         max_rounds=budget_rounds,

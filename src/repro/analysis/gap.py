@@ -51,12 +51,17 @@ def gap_table(
     subdivisions: Sequence[int] = (0, 1, 3, 7, 15),
     delay: int = 13,
     seed: int = 2,
+    engine=None,
 ) -> list[GapRow]:
     """Measure both scenarios on subdivided complete binary trees (ℓ = 4).
 
     The delay-0 run uses the Theorem 4.1 agent with simultaneous start; the
     arbitrary-delay run uses the baseline agent under the given delay.  The
     same start pair (two leaves of the base tree) is used throughout.
+
+    ``engine`` routes the joint runs through a scenario backend; the
+    memory columns come from solo replays (``measure_memory``) either
+    way, so rows are identical on every backend.
     """
     rng = random.Random(seed)
     base = complete_binary_tree(2)
@@ -66,8 +71,8 @@ def gap_table(
         tree = random_relabel(plain, rng)
         u, v = 3, 6  # two leaves of the base tree; ids survive subdivision
         assert not perfectly_symmetrizable(tree, u, v)
-        zero = solve(tree, u, v, max_outer=10)
-        arb = solve_with_delay(tree, u, v, delay)
+        zero = solve(tree, u, v, max_outer=10, engine=engine)
+        arb = solve_with_delay(tree, u, v, delay, engine=engine)
         # Memory is the solo requirement (lucky meetings end joint runs
         # before counters are declared) — see core.memory.measure_memory.
         from ..core.algorithm import rendezvous_agent

@@ -54,18 +54,28 @@ def _solve_point(
     v: int,
     max_outer: int = 10,
     canonical: Tree | None = None,
+    engine=None,
+    agent=None,
 ) -> SweepPoint:
     """Run the rendezvous AND measure the agent's solo memory requirement.
 
     A lucky early meeting can end the joint run before the agent declares
     its counters, so memory is measured on a solo execution spanning
-    Stage 1 + Synchro + two outer iterations (core.memory.measure_memory).
+    Stage 1 + Synchro + two outer iterations (core.memory.measure_memory)
+    — deliberately *not* through ``engine``: the memory account is
+    instrumentation of the interpreted program and is identical on every
+    backend (an agent's solo trajectory never depends on its partner).
+
+    ``engine`` routes the joint run through a scenario backend;
+    ``agent`` shares one prototype across points so a lowering backend's
+    trace cache can reuse per-(tree, start) work (engines clone the
+    prototype per run, so sharing is safe on every backend).
     """
     from ..core.algorithm import rendezvous_agent
     from ..core.memory import measure_memory
     from ..core.rendezvous import estimate_round_budget
 
-    result = solve(tree, u, v, max_outer=max_outer)
+    result = solve(tree, u, v, max_outer=max_outer, engine=engine, agent=agent)
     # Measure on the canonical labeling: its contraction is symmetric for
     # the sweep families, so every row exercises the FULL algorithm (random
     # labelings can fall into the cheap asymmetric path and make rows
@@ -201,9 +211,19 @@ def success_sweep(
     pairs_per_tree: int = 4,
     seed: int = 5,
     max_outer: int = 12,
+    engine=None,
 ) -> list[SweepPoint]:
-    """E2: run the Thm 4.1 agent over feasible pairs of the given trees."""
+    """E2: run the Thm 4.1 agent over feasible pairs of the given trees.
+
+    ``engine`` (default :func:`repro.sim.run_rendezvous_fast`) routes the
+    joint runs through a scenario backend; one shared prototype serves
+    every point so a lowering backend can reuse traces across pairs of
+    the same tree.
+    """
+    from ..core.algorithm import rendezvous_agent
+
     rng = random.Random(seed)
+    prototype = rendezvous_agent(max_outer=max_outer)
     points = []
     for tree in trees:
         found = 0
@@ -214,5 +234,10 @@ def success_sweep(
             if u == v or perfectly_symmetrizable(tree, u, v):
                 continue
             found += 1
-            points.append(_solve_point(tree, u, v, max_outer=max_outer))
+            points.append(
+                _solve_point(
+                    tree, u, v, max_outer=max_outer,
+                    engine=engine, agent=prototype,
+                )
+            )
     return points

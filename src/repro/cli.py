@@ -13,6 +13,7 @@ thm43        build + certify the Theorem 4.3 adversary
 verify       exhaustive Theorem 4.1 / Fact 1.1 verification
 gather       gather k identical agents (the extension of §1.3)
 gather-sweep decide a k-agent gathering grid (joint-configuration solver)
+lower        lower a register program to explicit automata / traced tables
 viz          render a tree as ASCII art or Graphviz DOT
 report       regenerate the experiment report as markdown
 experiments  run every experiment table (E1-E8) and print them
@@ -224,6 +225,84 @@ def _cmd_gather(args: argparse.Namespace) -> int:
     return 0 if outcome.gathered else 2
 
 
+def _cmd_lower(args: argparse.Namespace) -> int:
+    """Lower an agent onto the compiled backend's representations.
+
+    Route A (tree-independent): enumerate reachable machine states into
+    an explicit automaton.  Route B (per tree, per start): trace the
+    solo run from every start node into a lassoed action table.  Both
+    print state counts and memory bits; failures print the reason and
+    degrade — never a crash.
+    """
+    import math
+
+    from .agents.lowering import lower_to_automaton
+    from .errors import BudgetExceededError, LoweringError
+    from .scenarios.spec import build_agent
+    from .sim.compiled import supports_compilation
+    from .sim.traced import ensure_lasso, solo_trace
+
+    try:
+        agent = build_agent(args.agent, args.seed)
+    except (ScenarioError, ValueError) as exc:
+        # ValueError: malformed numeric argument, e.g. "counting" sans :K
+        raise SystemExit(f"error: bad agent spec {args.agent!r}: {exc}")
+    tree = build_tree(args.tree, args.seed)
+    support = supports_compilation(agent)
+    print(f"agent {args.agent!r} on {tree}: {support or 'reference-only'}")
+
+    if support == "native":
+        print(
+            f"already an explicit automaton: K={agent.num_states} states, "
+            f"{agent.memory_bits} bits"
+        )
+        return 0
+    if support != "lowerable":
+        print("not lowerable: arbitrary duck-typed agents ride the reference engine")
+        return 1
+
+    # Route A: explicit automaton over the tree's degree alphabet.
+    try:
+        automaton = lower_to_automaton(
+            agent, tree.degrees(), state_budget=args.state_budget
+        )
+        print(
+            f"route A (explicit automaton): K={automaton.num_states} states, "
+            f"{automaton.memory_bits} bits over degrees "
+            f"{sorted(set(tree.degrees()))}"
+        )
+    except (LoweringError, BudgetExceededError) as exc:
+        print(f"route A (explicit automaton): not expressible — {exc}")
+
+    # Route B: per-(tree, start) traced tables.
+    print(f"route B (solo-run traces, budget {args.trace_budget} rounds):")
+    total_states = 0
+    lassoed = 0
+    for start in range(tree.n):
+        trace = solo_trace(tree, agent, start)
+        try:
+            ensure_lasso(trace, args.trace_budget)
+        except BudgetExceededError:
+            print(f"  start {start:>3}: no lasso within budget (degrades to "
+                  f"the reference engine)")
+            continue
+        lassoed += 1
+        states = trace.rounds_recorded
+        total_states += states
+        bits = max(1, math.ceil(math.log2(max(states, 2))))
+        if trace.status == "finished":
+            shape = f"finishes after {states} rounds"
+        else:
+            shape = (
+                f"prefix {trace.cycle_start} + cycle {trace.cycle_len}"
+            )
+        print(f"  start {start:>3}: {states:>6} states, {bits:>2} bits ({shape})")
+    print(
+        f"lowered {lassoed}/{tree.n} starts; total table states: {total_states}"
+    )
+    return 0
+
+
 def _cmd_viz(args: argparse.Namespace) -> int:
     from .trees import ascii_tree, to_dot
 
@@ -292,12 +371,22 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     )
 
     if args.scenarios_cmd == "list":
+        from .scenarios.executors import spec_eligibility
+
         names = scenario_names()
         width = max(len(n) for n in names)
         kind_w = max(len(get_scenario(n).kind) for n in names)
+        # backend eligibility: native (automata, compiled directly),
+        # lowerable (register programs, compiled via lowering),
+        # agnostic (the kind never consults a backend)
+        elig = {name: spec_eligibility(get_scenario(name)) for name in names}
+        elig_w = max(len(e) for e in elig.values())
         for name in names:
             spec = get_scenario(name)
-            print(f"{name:<{width}}  {spec.kind:<{kind_w}}  {spec.description}")
+            print(
+                f"{name:<{width}}  {spec.kind:<{kind_w}}  "
+                f"{elig[name]:<{elig_w}}  {spec.description}"
+            )
         return 0
 
     if args.scenarios_cmd == "run":
@@ -391,14 +480,15 @@ def _parser() -> argparse.ArgumentParser:
     _add_backend_option(p)
     p.set_defaults(fn=_cmd_delays)
 
-    # atlas/gap/verify/experiments run program agents or pure analysis
-    # drivers; they take no --backend since the flag would be a no-op
+    # atlas/experiments wrap backend-agnostic analysis drivers; they take
+    # no --backend since the flag would be a no-op
     p = sub.add_parser("atlas", help="feasibility atlas over all n-node trees")
     p.add_argument("-n", type=int, default=7)
     p.set_defaults(fn=_cmd_atlas)
 
     p = sub.add_parser("gap", help="the headline gap table")
     p.add_argument("--subdivisions", default="0,1,3,7")
+    _add_backend_option(p)
     p.set_defaults(fn=_cmd_gap)
 
     p = sub.add_parser("thm31", help="Theorem 3.1 adversary sweep")
@@ -421,7 +511,21 @@ def _parser() -> argparse.ArgumentParser:
     p = sub.add_parser("verify", help="exhaustive Thm 4.1 / Fact 1.1 verification")
     p.add_argument("-n", type=int, default=6)
     p.add_argument("--labelings", type=int, default=1)
+    _add_backend_option(p)
     p.set_defaults(fn=_cmd_verify)
+
+    p = sub.add_parser(
+        "lower",
+        help="lower a register program to explicit automata / traced tables",
+    )
+    p.add_argument("agent", help="agent spec, e.g. baseline | thm41:2 | counting:2")
+    p.add_argument("--tree", default="star:4", help="tree spec, e.g. line:9")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--state-budget", type=int, default=2048, dest="state_budget",
+                   help="route-A reachable-state budget")
+    p.add_argument("--trace-budget", type=int, default=100_000, dest="trace_budget",
+                   help="route-B per-start lasso budget (rounds)")
+    p.set_defaults(fn=_cmd_lower)
 
     p = sub.add_parser(
         "gather-sweep",

@@ -113,6 +113,19 @@ def rendezvous_program(
     assert explo.central_port is not None
     nav = RendezvousPathNavigator(nu, explo.ell, explo.central_port, reps_factor)
 
+    # Entering the steady-state loop, drop the stage-1/2 working state the
+    # agent never reads again: the navigation data lives in `nav` and the
+    # kept registers, and a bounded-memory agent reuses its scratch space.
+    # (Beyond hygiene, this makes two agents' machine states from
+    # different starts *identical* once they run the same loop from the
+    # same extremity — which is what lets the lowering subsystem share
+    # their trace suffixes, and what the mirror argument of Fact 1.1
+    # predicts: the loop's behavior depends only on (ν, ℓ, central port).)
+    del explo
+    regs.release("explo_steps_to_target")
+    regs.release("walk_arrivals")
+    regs.release("synchro_arrivals")
+
     i = 1
     while max_outer is None or i <= max_outer:
         regs.declare("outer_i", i)

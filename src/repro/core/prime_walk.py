@@ -64,14 +64,23 @@ def next_prime(p: int) -> int:
     return q
 
 
+_NTH_PRIME_CACHE = [2]
+
+
 def nth_prime(i: int) -> int:
-    """The i-th prime (1-based: nth_prime(1) == 2)."""
+    """The i-th prime (1-based: nth_prime(1) == 2).
+
+    Memoized: the round-budget estimator calls this per solved pair, so
+    grid workloads (exhaustive verification) hit it tens of thousands of
+    times.  The cache is simulator bookkeeping — the *agents* still find
+    their next prime by trial division, as the paper's memory account
+    requires.
+    """
     if i < 1:
         raise ValueError("prime index is 1-based")
-    p = 2
-    for _ in range(i - 1):
-        p = next_prime(p)
-    return p
+    while len(_NTH_PRIME_CACHE) < i:
+        _NTH_PRIME_CACHE.append(next_prime(_NTH_PRIME_CACHE[-1]))
+    return _NTH_PRIME_CACHE[i - 1]
 
 
 def blind_rendezvous_feasible(m: int, a: int, b: int) -> bool:

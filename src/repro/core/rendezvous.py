@@ -14,7 +14,7 @@ True
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 from ..agents.program import AgentProgram
 from ..errors import InfeasibleRendezvousError
@@ -84,6 +84,7 @@ def solve(
     record_trace: bool = False,
     check_feasibility: bool = True,
     agent: Optional[AgentProgram] = None,
+    engine: Optional[Callable] = None,
 ) -> SolveResult:
     """Run the Theorem 4.1 algorithm (simultaneous start, delay 0).
 
@@ -91,6 +92,13 @@ def solve(
     starts when ``check_feasibility`` (the paper's model only defines the
     task for feasible instances); pass ``check_feasibility=False`` to watch
     the agents run forever instead.
+
+    ``engine`` overrides the simulation engine (default
+    :func:`repro.sim.run_rendezvous_fast`): the scenario executors pass
+    ``backend.run`` here so ``--backend`` reaches these runs too.  Note
+    that a traced (lowered) engine returns unexecuted agent clones, so
+    ``result.memory`` is ``None`` on that path — the experiments measure
+    memory on solo replays instead.
     """
     feasible = not perfectly_symmetrizable(tree, start1, start2)
     if check_feasibility and not feasible:
@@ -100,7 +108,8 @@ def solve(
         )
     prototype = agent if agent is not None else rendezvous_agent(max_outer=max_outer)
     budget = max_rounds if max_rounds is not None else estimate_round_budget(tree, max_outer)
-    outcome = run_rendezvous_fast(
+    run = engine if engine is not None else run_rendezvous_fast
+    outcome = run(
         tree,
         prototype,
         start1,
@@ -122,13 +131,18 @@ def solve_with_delay(
     max_rounds: Optional[int] = None,
     record_trace: bool = False,
     agent: Optional[AgentProgram] = None,
+    engine: Optional[Callable] = None,
 ) -> SolveResult:
-    """Run the arbitrary-delay baseline (Θ(log n) bits) under delay θ."""
+    """Run the arbitrary-delay baseline (Θ(log n) bits) under delay θ.
+
+    ``engine`` as in :func:`solve`.
+    """
     feasible = not perfectly_symmetrizable(tree, start1, start2)
     prototype = agent if agent is not None else baseline_agent()
     n = tree.n
     budget = max_rounds if max_rounds is not None else delay + 400 * n * n + 200 * n
-    outcome = run_rendezvous_fast(
+    run = engine if engine is not None else run_rendezvous_fast
+    outcome = run(
         tree,
         prototype,
         start1,

@@ -36,6 +36,16 @@ class BudgetExceededError(SimulationError):
     aborting the whole sweep."""
 
 
+class LoweringError(SimulationError):
+    """A register program could not be lowered to an automaton or trace.
+
+    Raised for *structural* obstacles — machine state the lowering pass
+    cannot capture (unfreezable frame locals, start behavior that depends
+    on the start degree) or a state-key collision it refuses to paper
+    over.  Budget exhaustion raises :class:`BudgetExceededError` instead;
+    sweep backends catch both and degrade to the reference engine."""
+
+
 class AgentProtocolError(ReproError):
     """An agent program violated the action/observation protocol."""
 

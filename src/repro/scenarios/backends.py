@@ -12,11 +12,26 @@ Every rendezvous or gathering run a scenario performs goes through a
   certification, and the batched product-configuration-graph solvers for
   delay sweeps (:func:`repro.sim.compiled.solve_all_delays`) and
   gathering grids (:func:`repro.sim.gathering_solver.solve_gathering`);
+  register programs become compiled-backend citizens through *lowering*
+  (:mod:`repro.sim.traced`): per-run execution replays shared solo
+  traces, and the exact sweeps roll lassoed traces into per-(tree,
+  start) automata for the product solvers;
 - :class:`BatchedBackend` — the compiled dispatch fanned out over a
   process pool (:mod:`repro.sim.batch`) for independent-run grids;
 - :class:`AutoBackend` — per-call selection via
   :func:`repro.sim.compiled.supports_compilation`: automata ride the
-  compiled backend, register programs the reference engine.
+  compiled backend natively ("native"), register programs ride it
+  through lowering ("lowerable") for sweeps and grids — single fresh
+  runs stay on the reference engine, where interpreting the program
+  once is already optimal and the outcome carries executed registers.
+
+Lowering degrades, never crashes: a trace that finds no lasso within
+its budget (or machine state the freezer cannot capture) raises
+:class:`~repro.errors.BudgetExceededError` /
+:class:`~repro.errors.LoweringError`, and the sweep wrappers catch both
+and fall back to budgeted per-run execution whose unprovable choices
+come back *undecided* — the same honest note a budget-bound reference
+sweep produces, never fake proof, never an abort.
 
 The protocol is the seam the ISSUE's acceptance criterion tests:
 ``scenarios run <name> --backend compiled`` and ``--backend reference``
@@ -42,7 +57,7 @@ import random
 from typing import Optional, Sequence
 
 from ..agents.observations import AgentBase
-from ..errors import BudgetExceededError
+from ..errors import BudgetExceededError, LoweringError
 from ..sim.batch import BatchJob, GatheringJob, run_batch, run_gathering_batch
 from ..sim.compiled import (
     DelayVerdict,
@@ -58,6 +73,12 @@ from ..sim.multi import (
     run_gathering,
     run_gathering_compiled,
     run_gathering_reference,
+)
+from ..sim.traced import (
+    run_gathering_traced,
+    run_rendezvous_traced,
+    sweep_delays_traced,
+    sweep_gathering_traced,
 )
 from ..trees.tree import Tree
 from .spec import ScenarioError
@@ -236,7 +257,27 @@ def _sweep_delays_exact(
     tripping it degrades to the budgeted per-run path (undecided where
     unprovable) so a budgeted sweep behaves alike on every backend
     instead of aborting here.
+
+    Register programs take the traced-lowering route: both starts' solo
+    traces are lassoed and rolled into per-(tree, start) automata for
+    the same solver.  A trace that cannot lasso within budget — or
+    machine state the lowering cannot capture — degrades the same way,
+    with undecided notes where nothing is provable, never a crash.
     """
+    if supports_compilation(prototype) == "lowerable":
+        try:
+            kwargs = {} if max_rounds is None else dict(
+                trace_budget=max_rounds, max_configs=max_rounds
+            )
+            return sweep_delays_traced(
+                tree, prototype, start1, start2,
+                max_delay=max_delay, sides=tuple(sides), **kwargs,
+            )
+        except (BudgetExceededError, LoweringError):
+            return Backend.sweep_delays(
+                backend, tree, prototype, start1, start2,
+                max_delay=max_delay, sides=sides, max_rounds=max_rounds,
+            )
     if max_rounds is None:
         return solve_all_delays(
             tree, prototype, start1, start2,
@@ -260,6 +301,19 @@ def _sweep_gathering_exact(
 ) -> list[GatheringVerdict]:
     """Exact gathering sweep with graceful budgeting (see
     :func:`_sweep_delays_exact`)."""
+    if supports_compilation(prototype) == "lowerable":
+        try:
+            kwargs = {} if max_rounds is None else dict(
+                trace_budget=max_rounds, max_configs=max_rounds
+            )
+            return sweep_gathering_traced(
+                tree, prototype, starts, delay_vectors, **kwargs
+            )
+        except (BudgetExceededError, LoweringError):
+            return Backend.sweep_gathering(
+                backend, tree, prototype, starts, delay_vectors,
+                max_rounds=max_rounds,
+            )
     if max_rounds is None:
         return solve_gathering(tree, prototype, starts, delay_vectors)
     try:
@@ -285,14 +339,24 @@ class ReferenceBackend(Backend):
 
 
 class CompiledBackend(Backend):
-    """Flat-table execution; requires finite-state (Automaton) agents."""
+    """Flat-table execution for automata; traced lowering for register
+    programs (:mod:`repro.sim.traced`); arbitrary duck-typed agents are
+    rejected — forcing ``compiled`` on them raises, the honest answer.
+
+    Lowered outcomes carry fresh (unexecuted) agent clones — executed
+    register accounts belong to the reference engine / solo replays.
+    """
 
     name = "compiled"
 
     def run(self, tree, prototype, start1, start2, **kwargs) -> RendezvousOutcome:
+        if supports_compilation(prototype) == "lowerable":
+            return run_rendezvous_traced(tree, prototype, start1, start2, **kwargs)
         return run_rendezvous_compiled(tree, prototype, start1, start2, **kwargs)
 
     def run_gathering(self, tree, prototype, starts, **kwargs) -> GatheringOutcome:
+        if supports_compilation(prototype) == "lowerable":
+            return run_gathering_traced(tree, prototype, starts, **kwargs)
         return run_gathering_compiled(tree, prototype, starts, **kwargs)
 
     def sweep_delays(
@@ -312,7 +376,15 @@ class CompiledBackend(Backend):
 
 
 class AutoBackend(Backend):
-    """Per-call selection: compiled for automata, reference otherwise."""
+    """Per-call selection: compiled for automata, traced lowering for
+    register programs on sweeps/grids, reference otherwise.
+
+    Single runs of register programs stay on the reference engine (see
+    :func:`repro.sim.compiled.run_rendezvous_fast` — one fresh run gains
+    nothing from tracing and keeps its executed registers); the batched
+    sweeps, where traces and product configurations are shared, take the
+    lowered exact path.
+    """
 
     name = "auto"
 

@@ -14,41 +14,82 @@ returns ``(rows, summary)``:
   ``ok`` (the scenario's own acceptance check).
 
 Executors whose agents are register *programs* (Theorem 4.1 agent, the
-baseline) note that the compiled backend cannot lower them — forcing
-``--backend compiled`` on those raises, which is the honest answer.
+baseline) are compiled-backend citizens through the lowering subsystem
+(:mod:`repro.sim.traced`): ``--backend compiled`` runs them on shared
+solo traces / traced-table solvers with reference-parity rows.
 
 Kinds registered with ``backend_sensitive=False`` never consult the
 backend (they wrap analysis drivers that pick their own engines); the
 runner rejects a non-``auto`` backend hint for them instead of recording
-an engine that did no work.
+an engine that did no work.  ``agents=`` annotates what a kind runs when
+the spec carries no agent string — ``repro scenarios list`` renders the
+per-scenario backend eligibility from it.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Callable
+from typing import Callable, Optional
 
 from ..errors import ConstructionError
 from ..sim.batch import BatchJob, derive_seed
 from .backends import Backend
 from .spec import ScenarioError, ScenarioSpec, build_agent, build_tree
 
-__all__ = ["EXECUTORS", "BACKEND_AGNOSTIC_KINDS", "executor", "execute"]
+__all__ = [
+    "EXECUTORS",
+    "BACKEND_AGNOSTIC_KINDS",
+    "KIND_AGENTS",
+    "executor",
+    "execute",
+    "spec_eligibility",
+]
 
 _CERTIFY_BUDGET = 200_000
 
 EXECUTORS: dict[str, Callable] = {}
 BACKEND_AGNOSTIC_KINDS: set[str] = set()
+# For kinds whose agents are built internally (no spec.agent): what they
+# run — "native" (automata) or "lowerable" (register programs).
+KIND_AGENTS: dict[str, str] = {}
 
 
-def executor(kind: str, *, backend_sensitive: bool = True):
+def executor(
+    kind: str, *, backend_sensitive: bool = True, agents: Optional[str] = None
+):
     def wrap(fn):
         EXECUTORS[kind] = fn
         if not backend_sensitive:
             BACKEND_AGNOSTIC_KINDS.add(kind)
+        if agents is not None:
+            KIND_AGENTS[kind] = agents
         return fn
 
     return wrap
+
+
+def spec_eligibility(spec: ScenarioSpec) -> str:
+    """How a scenario's agents meet the compiled backend.
+
+    - ``native`` — finite-state automata, compiled directly;
+    - ``lowerable`` — register programs, compiled via lowering;
+    - ``reference-only`` — agents the compiled backend must reject;
+    - ``agnostic`` — the kind never consults a backend.
+    """
+    from ..sim.compiled import supports_compilation
+
+    if spec.kind in BACKEND_AGNOSTIC_KINDS:
+        return "agnostic"
+    if spec.agent:
+        try:
+            support = supports_compilation(build_agent(spec.agent, spec.seed))
+        except Exception:
+            # some specs carry a bare family name whose parameters the
+            # executor supplies (thm31-sweep's agent is "counting"); fall
+            # back to the kind's annotation rather than guessing
+            return KIND_AGENTS.get(spec.kind, "?")
+        return support if support else "reference-only"
+    return KIND_AGENTS.get(spec.kind, "native")
 
 
 def execute(spec: ScenarioSpec, backend: Backend, rng: random.Random):
@@ -232,7 +273,7 @@ def _recertify_many(
     return [bool(out.certified_never) for out in backend.run_many(jobs)]
 
 
-@executor("thm31_curve")
+@executor("thm31_curve", agents="native")
 def _thm31_curve(spec: ScenarioSpec, backend: Backend, rng: random.Random):
     """E1: defeating-line size vs memory bits (counting-walker family)."""
     from ..agents import counting_walker
@@ -264,7 +305,7 @@ def _thm31_curve(spec: ScenarioSpec, backend: Backend, rng: random.Random):
     }
 
 
-@executor("thm31_random")
+@executor("thm31_random", agents="native")
 def _thm31_random(spec: ScenarioSpec, backend: Backend, rng: random.Random):
     """E1b: the Thm 3.1 adversary against random line automata."""
     from ..agents import random_line_automaton
@@ -290,7 +331,7 @@ def _thm31_random(spec: ScenarioSpec, backend: Backend, rng: random.Random):
     return rows, {"ok": all(r["certified"] for r in rows)}
 
 
-@executor("thm42_structured")
+@executor("thm42_structured", agents="native")
 def _thm42_structured(spec: ScenarioSpec, backend: Backend, rng: random.Random):
     """E5: the simultaneous-start adversary vs the structured victims."""
     from ..agents import alternator, pausing_walker
@@ -328,7 +369,7 @@ def _thm42_random(spec: ScenarioSpec, backend: Backend, rng: random.Random):
     return rows, {"ok": bool(rows)}
 
 
-@executor("thm43_instances")
+@executor("thm43_instances", agents="native")
 def _thm43_instances(spec: ScenarioSpec, backend: Backend, rng: random.Random):
     """E6: the Ω(log ℓ) pigeonhole adversary (max degree 3)."""
     from ..agents import random_tree_automaton
@@ -390,9 +431,15 @@ def _thm43_collisions(spec: ScenarioSpec, backend: Backend, rng: random.Random):
 # Upper-bound sweeps (Thm 4.1 / Lemma 4.1 / the gap table)
 # ----------------------------------------------------------------------
 
-@executor("success_families", backend_sensitive=False)
+@executor("success_families", agents="lowerable")
 def _success_families(spec: ScenarioSpec, backend: Backend, rng: random.Random):
-    """E2: 100% rendezvous over feasible pairs across tree families."""
+    """E2: 100% rendezvous over feasible pairs across tree families.
+
+    Joint runs route through the backend (the Theorem 4.1 agent is a
+    register program, so ``--backend compiled`` takes the traced
+    lowering path); the memory columns are solo-replay instrumentation
+    and identical on every backend.
+    """
     from ..analysis import success_sweep
     from ..trees.labelings import random_relabel
 
@@ -409,6 +456,7 @@ def _success_families(spec: ScenarioSpec, backend: Backend, rng: random.Random):
         points = success_sweep(
             trees, pairs_per_tree=pairs_per_tree,
             seed=derive_seed(spec.seed, family, "pairs"),
+            engine=backend.run,
         )
         met = sum(p.met for p in points)
         all_ok &= met == len(points)
@@ -469,33 +517,49 @@ def _prime_rounds(spec: ScenarioSpec, backend: Backend, rng: random.Random):
 
 @executor("prime_memory")
 def _prime_memory(spec: ScenarioSpec, backend: Backend, rng: random.Random):
-    """E4b: worst-case prime (memory) on near-mirror hard instances."""
+    """E4b: worst-case prime (memory) on near-mirror hard instances.
+
+    The register account is measured on a solo replay to the meeting
+    round rather than read off ``out.agents``: an agent's trajectory
+    never depends on its partner, so the replay is exact, and lowered
+    (traced) outcomes deliberately carry unexecuted clones — this keeps
+    the rows identical on every backend.
+    """
     from ..core import prime_line_agent
+    from ..core.memory import measure_memory
     from ..trees.labelings import thm31_line_labeling
 
     rows = []
     for m, a, b in spec.param("instances", [[20, 0, 15], [32, 0, 19]]):
+        tree = thm31_line_labeling(m)
         out = backend.run(
-            thm31_line_labeling(m), prime_line_agent(), a, b,
+            tree, prime_line_agent(), a, b,
             max_rounds=spec.param("max_rounds", 30_000_000),
         )
         if not out.met:  # pragma: no cover - Lemma 4.1 guarantees meeting
             raise ScenarioError(f"prime protocol failed on m={m}")
-        report = out.agents[0].registers.report()
+        # agent 1's run = start action + (meeting_round - 1) steps
+        report = measure_memory(
+            tree, a, prime_line_agent(), out.meeting_round - 1
+        )
         rows.append(
-            {"m": m, "a": a, "b": b, "max_prime": report["prime_p"][1],
+            {"m": m, "a": a, "b": b, "max_prime": report.registers["prime_p"][1],
              "round": out.meeting_round}
         )
     primes = [r["max_prime"] for r in rows]
     return rows, {"ok": primes == sorted(primes) and primes[-1] <= 31}
 
 
-@executor("gap_table", backend_sensitive=False)
+@executor("gap_table", agents="lowerable")
 def _gap_table(spec: ScenarioSpec, backend: Backend, rng: random.Random):
-    """E7: the headline exponential memory gap."""
+    """E7: the headline exponential memory gap (runs via the backend;
+    memory columns are solo replays, identical everywhere)."""
     from ..analysis import gap_table
 
-    table = gap_table(subdivisions=tuple(spec.param("subdivisions", [0, 1, 3, 7])))
+    table = gap_table(
+        subdivisions=tuple(spec.param("subdivisions", [0, 1, 3, 7])),
+        engine=backend.run,
+    )
     rows = [
         {"n": r.n, "leaves": r.leaves, "delay0_bits": r.delay0_bits,
          "arbitrary_bits": r.arbitrary_bits,
@@ -533,7 +597,7 @@ def _tradeoff_reps(spec: ScenarioSpec, backend: Backend, rng: random.Random):
     return rows, {"ok": all(r.success_rate == 1.0 for r in table)}
 
 
-@executor("ablation_reps")
+@executor("ablation_reps", agents="lowerable")
 def _ablation_reps(spec: ScenarioSpec, backend: Backend, rng: random.Random):
     """Ablation of the paper's 5ℓ repetition constant on stress lines."""
     from ..core import rendezvous_agent
@@ -568,9 +632,15 @@ def _ablation_reps(spec: ScenarioSpec, backend: Backend, rng: random.Random):
 # Verification, classification, structure
 # ----------------------------------------------------------------------
 
-@executor("exhaustive_verify", backend_sensitive=False)
+@executor("exhaustive_verify", agents="lowerable")
 def _exhaustive_verify(spec: ScenarioSpec, backend: Backend, rng: random.Random):
-    """Exhaustive Theorem 4.1 / Fact 1.1 verification at small n."""
+    """Exhaustive Theorem 4.1 / Fact 1.1 verification at small n.
+
+    Routing the runs through the backend is what lets
+    ``verify-small --backend compiled`` scale past n = 8: the lowering
+    trace cache decides all ~n²/2 pairs of a labeled tree from at most
+    n interpreted solo runs.
+    """
     from ..analysis import verify_fact_11_impossibility, verify_theorem_41
 
     max_n = spec.param("max_n", 6)
@@ -578,8 +648,12 @@ def _exhaustive_verify(spec: ScenarioSpec, backend: Backend, rng: random.Random)
         max_n=max_n,
         random_labelings=spec.param("labelings", 1),
         seed=spec.seed,
+        engine=backend.run,
     )
-    rep2 = verify_fact_11_impossibility(max_n=min(max_n, spec.param("fact11_max_n", 6)))
+    rep2 = verify_fact_11_impossibility(
+        max_n=min(max_n, spec.param("fact11_max_n", 6)),
+        engine=backend.run,
+    )
     rows = [
         {"check": "thm41", "trees": rep.trees_checked,
          "instances": rep.instances, "failures": len(rep.failures)},

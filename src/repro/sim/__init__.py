@@ -1,12 +1,20 @@
 """Synchronous two-agent simulation: engine, traces, adversarial sweeps.
 
-Two interchangeable backends execute rendezvous runs:
+Interchangeable backends execute rendezvous runs:
 
 - :func:`run_rendezvous` — the readable reference engine (the oracle);
 - :func:`run_rendezvous_compiled` — the table-driven backend for
   finite-state agents, with :func:`solve_all_delays` deciding a whole
   delay sweep in one pass;
-- :func:`run_rendezvous_fast` — dispatches between them.
+- :func:`run_rendezvous_traced` — the lowering backend for register
+  programs (:mod:`repro.sim.traced`): shared per-(tree, start) solo
+  traces replayed against each other, with :func:`sweep_delays_traced`
+  / :func:`sweep_gathering_traced` rolling lassoed traces into the
+  exact product solvers;
+- :func:`run_rendezvous_fast` — dispatches automata to the compiled
+  backend, everything else to the reference engine (grid workloads
+  reach the traced backend through the scenario backends, where trace
+  sharing pays).
 """
 
 from .adversary import (
@@ -37,6 +45,18 @@ from .compiled import (
 from .engine import RendezvousOutcome, run_rendezvous
 from .gathering_solver import GatheringVerdict, solve_gathering
 from .instrument import RegisterEvent, SoloRun, run_solo
+from .traced import (
+    SoloTrace,
+    TraceCache,
+    TracedAutomaton,
+    ensure_lasso,
+    run_gathering_traced,
+    run_rendezvous_traced,
+    solo_trace,
+    sweep_delays_traced,
+    sweep_gathering_traced,
+    traced_automaton,
+)
 from .multi import (
     GatheringOutcome,
     run_gathering,
@@ -72,6 +92,16 @@ __all__ = [
     "run_solo",
     "SoloRun",
     "RegisterEvent",
+    "SoloTrace",
+    "TraceCache",
+    "TracedAutomaton",
+    "solo_trace",
+    "ensure_lasso",
+    "traced_automaton",
+    "run_rendezvous_traced",
+    "run_gathering_traced",
+    "sweep_delays_traced",
+    "sweep_gathering_traced",
     "Trace",
     "RoundRecord",
     "adversarial_search",

@@ -26,8 +26,13 @@ the joint configuration with array indexing only:
 
 :func:`run_rendezvous_fast` is the dispatch point the analysis and
 lower-bound layers use: compiled backend for automata, reference engine
-for arbitrary ``AgentBase`` programs.  The reference engine remains the
-oracle; the parity property suite asserts identical verdicts.
+for arbitrary ``AgentBase`` programs.  Register programs become
+compiled-backend citizens through the lowering subsystem
+(:mod:`repro.agents.lowering` for explicit-automaton enumeration,
+:mod:`repro.sim.traced` for per-(tree, start) solo traces) — the
+scenario backends route grid workloads there.  The reference engine
+remains the oracle; the parity property suites assert identical
+verdicts.
 
 Verdict parity contract: ``met``, ``meeting_round``, ``meeting_node`` and
 ``certified_never`` agree with the reference engine (given budgets large
@@ -44,6 +49,7 @@ from typing import Optional, Sequence
 
 from ..agents.automaton import Automaton
 from ..agents.observations import NULL_PORT, STAY, AgentBase, resolve_action
+from ..agents.program import AgentProgram
 from ..errors import BudgetExceededError, SimulationError
 from ..trees.tree import Tree
 from .engine import RendezvousOutcome, run_rendezvous
@@ -111,9 +117,26 @@ class CompiledAgent:
         )
 
 
-def supports_compilation(prototype: AgentBase) -> bool:
-    """Can ``prototype`` be lowered to transition tables?"""
-    return isinstance(prototype, Automaton)
+def supports_compilation(prototype: AgentBase):
+    """Can ``prototype`` be lowered to transition tables?
+
+    Three answers (the first two truthy, so boolean callers keep
+    working):
+
+    - ``"native"`` — a finite-state :class:`Automaton`: compiles
+      directly to flat tables;
+    - ``"lowerable"`` — a bounded-register
+      :class:`~repro.agents.program.AgentProgram`: the lowering
+      subsystem (:mod:`repro.agents.lowering` /
+      :mod:`repro.sim.traced`) can turn it into an explicit automaton
+      or per-(tree, start) traced tables;
+    - ``False`` — an arbitrary duck-typed agent: reference engine only.
+    """
+    if isinstance(prototype, Automaton):
+        return "native"
+    if isinstance(prototype, AgentProgram):
+        return "lowerable"
+    return False
 
 
 # Compilations are memoized per live automaton object: the weak keying
@@ -168,11 +191,16 @@ def _make_stepper(compiled: CompiledAgent, tree: Tree):
 
 
 def _final_agents(
-    prototype: Automaton, s1: int, started1: bool, s2: int, started2: bool
+    prototype: Automaton,
+    s1: int,
+    started1: bool,
+    s2: int,
+    started2: bool,
+    prototype2: Optional[Automaton] = None,
 ) -> tuple[Automaton, Automaton]:
     """Clones carrying the final automaton states, like the reference
     engine's outcome.agents."""
-    a1, a2 = prototype.clone(), prototype.clone()
+    a1, a2 = prototype.clone(), (prototype2 or prototype).clone()
     if started1:
         a1.state = s1
     if started2:
@@ -191,14 +219,23 @@ def run_rendezvous_compiled(
     max_rounds: int = 1_000_000,
     certify: bool = False,
     record_trace: bool = False,
+    prototype2: Optional[Automaton] = None,
 ) -> RendezvousOutcome:
     """Table-driven replay of :func:`repro.sim.engine.run_rendezvous`.
 
     Semantics are identical to the reference engine; non-meeting
     certification uses Brent cycle detection on the joint configuration
     (O(1) memory) instead of a ``seen`` set.
+
+    ``prototype2`` (default: ``prototype``) lets the two agents run
+    different automata — the seam the lowering subsystem
+    (:mod:`repro.sim.traced`) uses to feed per-(tree, start) traced
+    tables through the product machinery.  The classic rendezvous
+    problem (two *identical* agents) simply leaves it unset.
     """
     if not isinstance(prototype, Automaton):
+        raise SimulationError("compiled backend requires a finite-state Automaton")
+    if prototype2 is not None and not isinstance(prototype2, Automaton):
         raise SimulationError("compiled backend requires a finite-state Automaton")
     if not (0 <= start1 < tree.n and 0 <= start2 < tree.n):
         raise SimulationError("start nodes outside the tree")
@@ -211,16 +248,21 @@ def run_rendezvous_compiled(
     if start1 == start2:
         return RendezvousOutcome(
             True, 0, start1, 0, False, 0, trace,
-            _final_agents(prototype, 0, False, 0, False),
+            _final_agents(prototype, 0, False, 0, False, prototype2),
         )
 
     compiled = compile_agent(prototype, tree)
+    compiled2 = compiled if prototype2 is None else compile_agent(prototype2, tree)
     stride, deg, move_to, move_in = tree.flat_move_tables()
     width = stride + 1
     nxt, act = compiled.next_state, compiled.action
+    nxt2, act2_t = compiled2.next_state, compiled2.action
     start_act = compiled.start_action
+    start_act2 = compiled2.start_action
     s0 = compiled.initial_state
+    s0_2 = compiled2.initial_state
     automaton = compiled.automaton
+    automaton2 = compiled2.automaton
 
     sr1 = delay if delayed == 1 else 0
     sr2 = delay if delayed == 2 else 0
@@ -268,16 +310,16 @@ def run_rendezvous_compiled(
         if started2:
             d = deg[pos2]
             idx = (st2 * width + ip2) * width + d
-            s2_ = nxt[idx]
+            s2_ = nxt2[idx]
             if s2_ == _INVALID:
-                automaton.transition(st2, ip2 - 1, d)
+                automaton2.transition(st2, ip2 - 1, d)
                 raise SimulationError("invalid transition entry")  # pragma: no cover
             st2 = s2_
-            a = act[idx]
+            a = act2_t[idx]
         elif rnd > sr2:
             started2 = True
-            st2 = s0
-            a = start_act[deg[pos2]]
+            st2 = s0_2
+            a = start_act2[deg[pos2]]
         else:
             a = STAY
         act2 = a
@@ -296,14 +338,14 @@ def run_rendezvous_compiled(
         if pos1 == pos2:
             return RendezvousOutcome(
                 True, rnd, pos1, rnd, False, crossings, trace,
-                _final_agents(prototype, st1, started1, st2, started2),
+                _final_agents(prototype, st1, started1, st2, started2, prototype2),
             )
         if certify and rnd > first_joint:
             config = (pos1, st1, ip1, pos2, st2, ip2)
             if config == anchor:
                 return RendezvousOutcome(
                     False, None, None, rnd, True, crossings, trace,
-                    _final_agents(prototype, st1, started1, st2, started2),
+                    _final_agents(prototype, st1, started1, st2, started2, prototype2),
                 )
             steps += 1
             if steps == power:
@@ -313,7 +355,7 @@ def run_rendezvous_compiled(
 
     return RendezvousOutcome(
         False, None, None, max_rounds, False, crossings, trace,
-        _final_agents(prototype, st1, started1, st2, started2),
+        _final_agents(prototype, st1, started1, st2, started2, prototype2),
     )
 
 
@@ -330,8 +372,16 @@ def run_rendezvous_fast(
     Accepts exactly the keyword arguments of
     :func:`repro.sim.engine.run_rendezvous`.  Force the reference engine
     by calling it directly.
+
+    Register programs ("lowerable") deliberately take the reference
+    engine here: a *single* fresh run gains nothing from tracing (the
+    trace is built by interpreting the very run it would replay), and
+    the reference outcome carries the executed agents' registers.  Grid
+    workloads that reuse (tree, start) pairs route through the scenario
+    backends, whose compiled path shares traces across runs
+    (:mod:`repro.sim.traced`).
     """
-    if supports_compilation(prototype):
+    if supports_compilation(prototype) == "native":
         return run_rendezvous_compiled(tree, prototype, start1, start2, **kwargs)
     return run_rendezvous(tree, prototype, start1, start2, **kwargs)
 
@@ -367,6 +417,7 @@ def solve_all_delays(
     max_delay: int,
     delayed_sides: Sequence[int] = (1, 2),
     max_configs: int = 4_000_000,
+    prototype2: Optional[Automaton] = None,
 ) -> list[DelayVerdict]:
     """Decide every delay θ ∈ [0, max_delay] in one shared reachability pass.
 
@@ -385,8 +436,14 @@ def solve_all_delays(
     requested side).  Raises :class:`~repro.errors.BudgetExceededError`
     if more than ``max_configs`` distinct configurations are explored (a
     guard, not a round budget — the solver is otherwise exact).
+
+    ``prototype2`` (default: ``prototype``) is agent 2's automaton — the
+    heterogeneous-agent seam used by traced lowering
+    (:mod:`repro.sim.traced`).
     """
     if not isinstance(prototype, Automaton):
+        raise SimulationError("the all-delays solver requires a finite-state Automaton")
+    if prototype2 is not None and not isinstance(prototype2, Automaton):
         raise SimulationError("the all-delays solver requires a finite-state Automaton")
     if not (0 <= start1 < tree.n and 0 <= start2 < tree.n):
         raise SimulationError("start nodes outside the tree")
@@ -408,10 +465,17 @@ def solve_all_delays(
         ]
 
     compiled = compile_agent(prototype, tree)
+    compiled2 = compiled if prototype2 is None else compile_agent(prototype2, tree)
     stride, deg, move_to, move_in = tree.flat_move_tables()
-    start_act = compiled.start_action
-    s0 = compiled.initial_state
-    step_one = _make_stepper(compiled, tree)
+    step_1 = _make_stepper(compiled, tree)
+    step_2 = step_1 if prototype2 is None else _make_stepper(compiled2, tree)
+    # per-side views: the runner is the non-delayed agent (agent 1 when
+    # side 2 is delayed), and tuple slots stay agent-major: (agent 1,
+    # agent 2) regardless of which side sleeps.
+    by_agent = {
+        1: (compiled.start_action, compiled.initial_state, step_1),
+        2: (compiled2.start_action, compiled2.initial_state, step_2),
+    }
 
     # verdict[config] = (True, k): meets k rounds after reaching config;
     #                   (False, -1): provably never meets from config.
@@ -441,8 +505,8 @@ def solve_all_delays(
                     f"all-delays solver exceeded max_configs={max_configs}"
                 )
             cur = (
-                *step_one(cur[0], cur[1], cur[2]),
-                *step_one(cur[3], cur[4], cur[5]),
+                *step_1(cur[0], cur[1], cur[2]),
+                *step_2(cur[3], cur[4], cur[5]),
             )
         met, dist = res
         if met:
@@ -458,14 +522,16 @@ def solve_all_delays(
     for side in sides:
         runner_start = start1 if side == 2 else start2
         sleeper_start = start2 if side == 2 else start1
+        start_act_r, s0_r, step_r = by_agent[1 if side == 2 else 2]
+        start_act_s, s0_s, _step_s = by_agent[side]
         first_theta = 0 if side == zero_side else 1
 
         # Solo prefix of the non-delayed agent: configs after rounds
         # 1..max_delay, and the first round it steps onto the sleeper.
         solo: list[tuple[int, int, int]] = []
         first_hit: Optional[int] = None
-        pos, st, ip = runner_start, s0, 0
-        a = start_act[deg[runner_start]]
+        pos, st, ip = runner_start, s0_r, 0
+        a = start_act_r[deg[runner_start]]
         if a != STAY:
             base = pos * stride + a
             pos, ip = move_to[base], move_in[base] + 1
@@ -473,7 +539,7 @@ def solve_all_delays(
         if pos == sleeper_start:
             first_hit = 1
         for t in range(2, max_delay + 1):
-            pos, st, ip = step_one(pos, st, ip)
+            pos, st, ip = step_r(pos, st, ip)
             solo.append((pos, st, ip))
             if first_hit is None and pos == sleeper_start:
                 first_hit = t
@@ -487,9 +553,9 @@ def solve_all_delays(
             if theta == 0:
                 r_pos, r_st, r_ip = solo[0]
             else:
-                r_pos, r_st, r_ip = step_one(*solo[theta - 1])
-            sl_st = s0
-            a = start_act[deg[sleeper_start]]
+                r_pos, r_st, r_ip = step_r(*solo[theta - 1])
+            sl_st = s0_s
+            a = start_act_s[deg[sleeper_start]]
             if a == STAY:
                 sl_pos, sl_ip = sleeper_start, 0
             else:

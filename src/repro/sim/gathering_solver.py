@@ -70,6 +70,7 @@ def solve_gathering(
     delay_vectors: Sequence[Sequence[int]],
     *,
     max_configs: int = 4_000_000,
+    prototypes: Optional[Sequence[Automaton]] = None,
 ) -> list[GatheringVerdict]:
     """Decide gathering for every per-agent delay vector, exactly.
 
@@ -81,24 +82,34 @@ def solve_gathering(
     not a round budget — the solver is otherwise exact) and
     :class:`SimulationError` if ``prototype`` is not a finite-state
     :class:`~repro.agents.automaton.Automaton`.
+
+    ``prototypes`` (default: ``prototype`` for every agent) gives agent
+    i its own automaton — the heterogeneous seam traced lowering
+    (:mod:`repro.sim.traced`) feeds per-(tree, start) tables through.
     """
-    if not isinstance(prototype, Automaton):
-        raise SimulationError("the gathering solver requires a finite-state Automaton")
     starts = list(starts)
+    protos = list(prototypes) if prototypes is not None else [prototype] * len(starts)
+    if len(protos) != len(starts):
+        raise SimulationError("'prototypes' must align with 'starts'")
+    for p in protos:
+        if not isinstance(p, Automaton):
+            raise SimulationError(
+                "the gathering solver requires finite-state Automaton agents"
+            )
     vectors = [list(_validate(tree, starts, vec)) for vec in delay_vectors]
     k = len(starts)
 
-    compiled = compile_agent(prototype, tree)
+    compileds = [compile_agent(p, tree) for p in protos]
     stride, deg, move_to, move_in = tree.flat_move_tables()
-    start_act = compiled.start_action
-    s0 = compiled.initial_state
-    step_one = _make_stepper(compiled, tree)
+    start_acts = [c.start_action for c in compileds]
+    s0s = [c.initial_state for c in compileds]
+    steppers = [_make_stepper(c, tree) for c in compileds]
 
     def step_joint(config: tuple) -> tuple:
         return tuple(
             x
             for i in range(k)
-            for x in step_one(config[3 * i], config[3 * i + 1], config[3 * i + 2])
+            for x in steppers[i](config[3 * i], config[3 * i + 1], config[3 * i + 2])
         )
 
     def is_meeting(config: tuple) -> bool:
@@ -163,11 +174,11 @@ def solve_gathering(
         for rnd in range(1, first_joint + 1):
             for i in range(k):
                 if started[i]:
-                    pos[i], st[i], ip[i] = step_one(pos[i], st[i], ip[i])
+                    pos[i], st[i], ip[i] = steppers[i](pos[i], st[i], ip[i])
                 elif rnd > delays[i]:
                     started[i] = True
-                    st[i] = s0
-                    a = start_act[deg[pos[i]]]
+                    st[i] = s0s[i]
+                    a = start_acts[i][deg[pos[i]]]
                     if a == STAY:
                         ip[i] = 0
                     else:

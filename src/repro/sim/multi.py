@@ -108,7 +108,7 @@ def run_gathering(
     loop; everything else runs on :func:`run_gathering_reference`.
     """
     delay_list = _validate(tree, starts, delays)
-    if supports_compilation(prototype):
+    if supports_compilation(prototype) == "native":
         return _run_gathering_compiled(
             tree, prototype, list(starts), delay_list, max_rounds, certify
         )
@@ -143,7 +143,7 @@ def run_gathering_compiled(
     certify: bool = False,
 ) -> GatheringOutcome:
     """The table-driven loop, forced (requires a finite-state Automaton)."""
-    if not supports_compilation(prototype):
+    if supports_compilation(prototype) != "native":
         raise SimulationError(
             "compiled gathering requires a finite-state Automaton"
         )

@@ -1,0 +1,1031 @@
+"""Route B lowering: solo-run JIT traces for register programs.
+
+A rendezvous (or gathering) agent never observes its partners — agents
+interact only by *being at the same node*, which ends the run.  On a
+fixed tree, a deterministic agent's whole observation sequence is
+therefore determined by its own movement: the joint execution is just k
+independent **solo runs** compared round by round.  This module exploits
+that:
+
+- :class:`SoloTrace` lazily records one agent's solo run from one start
+  node — resolved action and position per round — extending on demand
+  and detecting *lassos*: the program returning (it waits forever) or
+  its machine state recurring (Brent cycle detection over
+  :func:`repro.agents.lowering.machine_state_key`, with a cheap
+  ``(position, entry port, register values)`` proxy filter so the full
+  frame freeze runs only on candidate rounds);
+- :class:`TraceCache` shares traces across runs keyed by (prototype,
+  tree, start) — the grid workloads (exhaustive verification, success
+  sweeps) re-decide many pairs over few distinct starts, so each start's
+  interpreted run is paid once and every further pair replays integer
+  tables;
+- :func:`run_rendezvous_traced` / :func:`run_gathering_traced` replay
+  the reference-engine semantics over traces (identical ``met`` /
+  ``meeting_round`` / ``meeting_node`` verdicts; certification compares
+  folded trace indices once every trace has lassoed);
+- :func:`traced_automaton` rolls a lassoed trace into a genuine
+  :class:`~repro.agents.automaton.Automaton` (a chain with a back edge),
+  and :func:`sweep_delays_traced` / :func:`sweep_gathering_traced` feed
+  those per-start automata straight into the exact product-configuration
+  solvers (:func:`repro.sim.compiled.solve_all_delays`,
+  :func:`repro.sim.gathering_solver.solve_gathering`) through their
+  heterogeneous-prototype seam.
+
+Failure is graceful by construction: ``met`` verdicts never depend on
+machine-state keys (the trace *is* the executed prefix), an unlassoed
+trace simply leaves a run undecided at its round budget exactly like the
+reference engine, and the sweep entry points raise
+:class:`~repro.errors.BudgetExceededError` /
+:class:`~repro.errors.LoweringError` for the scenario backends to catch
+and degrade to budgeted per-run execution.
+
+Outcome contract: traced outcomes carry *fresh* (unexecuted) agent
+clones in ``outcome.agents`` — the executed register account of a traced
+run lives in the shared trace, not in per-run clones.  Callers that need
+executed registers (the memory experiments) measure a solo replay
+(:func:`repro.core.memory.measure_memory`), which is identical by the
+same solo-determinism argument.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+try:  # optional accelerator for the chunked scans (never required)
+    import numpy as _np
+except ImportError:  # pragma: no cover - the container ships numpy
+    _np = None
+
+from ..agents.automaton import Automaton
+from ..agents.lowering import machine_state_key
+from ..agents.observations import NULL_PORT, STAY, AgentBase
+from ..agents.program import AgentProgram
+from ..errors import BudgetExceededError, LoweringError, SimulationError
+from ..trees.tree import Tree
+from .compiled import DelayVerdict, solve_all_delays
+from .engine import RendezvousOutcome
+from .gathering_solver import GatheringVerdict, solve_gathering
+from .multi import GatheringOutcome, _validate
+from .trace import RoundRecord, Trace
+
+__all__ = [
+    "SoloTrace",
+    "MirrorTrace",
+    "TraceCache",
+    "solo_trace",
+    "ensure_lasso",
+    "traced_automaton",
+    "TracedAutomaton",
+    "run_rendezvous_traced",
+    "run_gathering_traced",
+    "sweep_delays_traced",
+    "sweep_gathering_traced",
+]
+
+ACTIVE = "active"
+FINISHED = "finished"
+CYCLED = "cycled"
+
+#: Default cap on the rounds a sweep may spend lassoing one trace.
+DEFAULT_TRACE_BUDGET = 1_000_000
+
+
+class SoloTrace:
+    """One agent's lazily-extended solo run from one start node.
+
+    ``actions[t-1]`` / ``positions[t]`` are the resolved action taken
+    and node occupied after round ``t`` (``positions[0]`` is the start).
+    ``status`` is ``"active"`` (more rounds available on demand),
+    ``"finished"`` (the program returned: null moves forever), or
+    ``"cycled"`` (machine + environment state after round
+    ``cycle_start + cycle_len`` provably equals the state after round
+    ``cycle_start``); the latter two make every future round foldable in
+    O(1) via :meth:`fold`.
+    """
+
+    # No strong reference back to the tree: the cache weak-keys entries on
+    # tree objects, and a value->key reference would pin them forever.
+    __slots__ = (
+        "start", "agent", "actions", "positions", "status",
+        "cycle_start", "cycle_len",
+        "_pos", "_in_port", "_started", "_use_keys",
+        "_deg", "_stride", "_move_to", "_move_in",
+        "_anchor_pos", "_anchor_ip", "_anchor_regs", "_anchor_key",
+        "_anchor_round", "_brent_steps", "_brent_power",
+        "_registry", "_last_dist", "_link", "_link_round",
+        "source", "_mapping",
+    )
+
+    def __init__(
+        self,
+        tree: Tree,
+        prototype: AgentBase,
+        start: int,
+        *,
+        use_keys: bool = True,
+        merge_registry: Optional[dict] = None,
+    ) -> None:
+        if not (0 <= start < tree.n):
+            raise SimulationError("start node outside the tree")
+        self.start = start
+        self.agent = prototype.clone()
+        self.actions: list[int] = []
+        self.positions: list[int] = [start]
+        self.status = ACTIVE
+        self.cycle_start: Optional[int] = None
+        self.cycle_len: Optional[int] = None
+        self._pos = start
+        self._in_port = NULL_PORT
+        self._started = False
+        self._use_keys = use_keys and isinstance(self.agent, AgentProgram)
+        self._stride, self._deg, self._move_to, self._move_in = (
+            tree.flat_move_tables()
+        )
+        self._anchor_pos = -1
+        self._anchor_ip = -2
+        self._anchor_regs: Optional[tuple] = None
+        self._anchor_key = None
+        self._anchor_round = 0
+        self._brent_steps = 0
+        # First anchor at round 128: traces that meet quickly (the vast
+        # majority in grid workloads) never pay a frame freeze at all.
+        self._brent_power = 128
+        # Suffix merging (see extend): registry of distinguished machine
+        # states shared with the sibling traces of this (prototype, tree).
+        self._registry = merge_registry if self._use_keys else None
+        self._last_dist = 0
+        self._link: Optional[tuple] = None  # (source trace, round offset)
+        self._link_round = 0
+
+    # -- recording ----------------------------------------------------------
+    @property
+    def rounds_recorded(self) -> int:
+        return len(self.actions)
+
+    @property
+    def complete(self) -> bool:
+        """Every future round is determined (finished or cycled)."""
+        return self.status != ACTIVE
+
+    def extend(self, upto: int) -> None:
+        """Record rounds until ``rounds_recorded >= upto`` or the trace
+        lassos; a no-op on complete traces.
+
+        Cycle detection is Brent's algorithm on the full (environment,
+        machine) state, gated to stay off the hot path: per round only
+        the two ``(position, entry port)`` integers are compared against
+        the anchor; on a hit the register values are compared next, and
+        the frame freeze (:func:`machine_state_key`) — the only
+        expensive probe — runs solely on full proxy matches, so a false
+        collision costs one freeze and never a wrong cycle.  An
+        unfreezable machine state disables detection; the trace stays
+        honestly "active" (it can extend, it just can never certify).
+
+        **Suffix merging.**  Sibling traces of one (prototype, tree)
+        share a registry of *distinguished* machine states — sampled by
+        a phase-free rolling hash of the recent movement, so two traces
+        walking the same steady-state loop sample the same states no
+        matter when each entered it.  When this trace reaches a state
+        another trace already recorded, their futures are identical
+        (same machine state, same node, same pending observation), so
+        the trace *links*: all further rounds are copied from the
+        sibling instead of re-interpreting the program.  This is the
+        mechanism that decides a whole tree's pair grid from a handful
+        of interpreted suffixes (the Theorem 4.1 agent's steady-state
+        loop depends only on (ν, ℓ, central port), not on the start).
+        """
+        if self._link is not None:
+            self._extend_linked(upto)
+            return
+        if self.status != ACTIVE:
+            return
+        agent = self.agent
+        deg, stride = self._deg, self._stride
+        move_to, move_in = self._move_to, self._move_in
+        actions, positions = self.actions, self.positions
+        is_program = isinstance(agent, AgentProgram)
+        pos = self._pos
+        in_port = self._in_port
+        started = self._started
+        # Drive the routine generator directly: AgentProgram.step's
+        # guard-and-dispatch shell costs ~15% of a round at this loop's
+        # granularity.  StopIteration handling mirrors step()'s.
+        gen = agent.generator if is_program else None
+        step = agent.step
+        regs_values = agent.registers._values if is_program else None
+        use_keys = self._use_keys
+        anchor_pos = self._anchor_pos
+        anchor_ip = self._anchor_ip
+        brent_steps = self._brent_steps
+        brent_power = self._brent_power
+        registry = self._registry
+        last_dist = self._last_dist
+        rnd = len(actions)
+        try:
+            while rnd < upto:
+                d = deg[pos]
+                if started:
+                    if gen is not None:
+                        try:
+                            raw = gen.send((in_port, d))
+                        except StopIteration:
+                            raw = STAY
+                            agent._done = True
+                    else:
+                        raw = step(in_port, d)
+                else:
+                    raw = agent.start(d)
+                    started = True
+                    # start() installs a fresh register bank and routine
+                    if is_program:
+                        regs_values = agent.registers._values
+                        gen = None if agent._done else agent.generator
+                if raw == STAY or d == 0:
+                    a = STAY
+                    in_port = NULL_PORT
+                else:
+                    a = raw % d
+                    base = pos * stride + a
+                    pos = move_to[base]
+                    in_port = move_in[base]
+                actions.append(a)
+                positions.append(pos)
+                rnd += 1
+                if is_program and agent._done:
+                    # The program returned: this round's action was the
+                    # final STAY; it waits at its node forever.
+                    self.status = FINISHED
+                    break
+                if (
+                    registry is not None
+                    and pos == 0
+                    and rnd >= 512  # short traces never pay for sampling
+                    and rnd - last_dist >= 64
+                ):
+                    # Phase-free distinguished-state sampling: trigger on
+                    # visits to node 0 (pure machine/environment state, no
+                    # round index), thin with a hash of the register
+                    # values, and only then pay the frame freeze.  Two
+                    # traces running the same steady-state loop sample the
+                    # same states regardless of when each entered it.
+                    rv = (
+                        tuple(regs_values.values())
+                        if regs_values is not None
+                        else ()
+                    )
+                    if (hash(rv) ^ in_port) & 7 == 0:
+                        last_dist = rnd
+                        try:
+                            key = (pos, in_port, machine_state_key(agent))
+                        except LoweringError:
+                            registry = self._registry = None
+                        else:
+                            ent = registry.get(key)
+                            if ent is None:
+                                registry[key] = (self, rnd)
+                            elif ent[0] is self:
+                                # revisited own distinguished state: cycle
+                                self.status = CYCLED
+                                self.cycle_start = ent[1]
+                                self.cycle_len = rnd - ent[1]
+                                break
+                            else:
+                                # identical machine state in a sibling
+                                # trace: futures coincide — link to its
+                                # interpreting root and copy (None: the
+                                # chain leads back here; keep interpreting)
+                                link = self._resolve_link(ent[0], ent[1], rnd)
+                                if link is not None:
+                                    self._link = link
+                                    self._link_round = rnd
+                                    break
+                if use_keys:
+                    if (
+                        pos == anchor_pos
+                        and in_port == anchor_ip
+                        and tuple(regs_values.values()) == self._anchor_regs
+                    ):
+                        try:
+                            key = machine_state_key(agent)
+                        except LoweringError:
+                            use_keys = self._use_keys = False
+                            continue
+                        if key == self._anchor_key:
+                            self.status = CYCLED
+                            self.cycle_start = self._anchor_round
+                            self.cycle_len = rnd - self._anchor_round
+                            break
+                    brent_steps += 1
+                    if brent_steps == brent_power:
+                        try:
+                            self._anchor_key = machine_state_key(agent)
+                        except LoweringError:
+                            use_keys = self._use_keys = False
+                            continue
+                        anchor_pos = self._anchor_pos = pos
+                        anchor_ip = self._anchor_ip = in_port
+                        self._anchor_regs = tuple(regs_values.values())
+                        self._anchor_round = rnd
+                        brent_steps = 0
+                        brent_power <<= 1
+        finally:
+            # Keep the resumable state consistent even if the agent raises
+            # (the genuine protocol error must surface like the reference
+            # engine's, with the trace intact up to the failing round).
+            self._pos = pos
+            self._in_port = in_port
+            self._started = started
+            self._brent_steps = brent_steps
+            self._brent_power = brent_power
+            self._last_dist = last_dist
+        if self._link is not None and len(self.actions) < upto:
+            self._extend_linked(upto)
+
+    def _resolve_link(self, other: "SoloTrace", ornd: int, rnd: int):
+        """The (root trace, offset) this trace should link to, or ``None``.
+
+        Follows ``other``'s own link chain to its interpreting root,
+        accumulating offsets, and refuses a link whose root is this very
+        trace — two sibling traces must never link to each other (the
+        mutual ``extend`` recursion would never terminate).  Chains are
+        flattened at link time, so they stay acyclic by induction.
+        """
+        root, off = other, ornd - rnd
+        while root._link is not None:
+            nxt, noff = root._link
+            off += noff
+            root = nxt
+        if root is self:
+            return None
+        return root, off
+
+    def _extend_linked(self, upto: int) -> None:
+        """Copy rounds from the linked sibling trace (zero interpretation).
+
+        ``self(t) == source(t + off)`` for every ``t >= _link_round``, so
+        extension is slice copies over the source's raw region; the
+        sibling's lasso (finish or cycle) carries over with its round
+        indices shifted into this trace.  A cycle whose shifted range
+        reaches past the source's recorded rounds is completed through
+        the source's *fold* — the source never records past its own
+        lasso, so the wrap-around region is copied element-wise.
+        """
+        src, off = self._link
+        if src.status == ACTIVE and len(src.actions) < upto + off:
+            src.extend(upto + off)
+        sa, sp = src.actions, src.positions
+        m = len(self.actions)
+        stop = min(upto, len(sa) - off)
+        if stop > m:
+            self.actions.extend(sa[m + off:stop + off])
+            self.positions.extend(sp[m + 1 + off:stop + 1 + off])
+        if src.status == FINISHED:
+            if len(self.actions) == len(sa) - off:
+                self.status = FINISHED
+        elif src.status == CYCLED:
+            lam = src.cycle_len
+            c_self = max(src.cycle_start - off, self._link_round)
+            m = len(self.actions)
+            while m < c_self + lam:  # wrap past the source's raw region
+                idx = src.fold(m + 1 + off)
+                self.actions.append(sa[idx - 1])
+                self.positions.append(sp[idx])
+                m += 1
+            self.status = CYCLED
+            self.cycle_start = c_self
+            self.cycle_len = lam
+
+    # -- folded access ------------------------------------------------------
+    def fold(self, t: int) -> int:
+        """Map active-round index ``t >= 0`` onto a recorded index."""
+        m = len(self.actions)
+        if t <= m:
+            return t
+        if self.status == FINISHED:
+            return m
+        if self.status == CYCLED:
+            c, lam = self.cycle_start, self.cycle_len
+            return c + ((t - c - 1) % lam) + 1
+        raise SimulationError(
+            "trace not extended this far; call extend() first"
+        )  # pragma: no cover - callers extend before folding
+
+    def position_after(self, t: int) -> int:
+        """Node occupied after the agent's ``t``-th active round."""
+        return self.positions[self.fold(t)]
+
+    def action_at(self, t: int) -> int:
+        """Resolved action of the agent's ``t``-th active round
+        (``t >= 1``)."""
+        m = len(self.actions)
+        if t > m and self.status == FINISHED:
+            return STAY
+        return self.actions[self.fold(t) - 1]
+
+
+class MirrorTrace(SoloTrace):
+    """A solo trace derived from its automorphic image — for free.
+
+    On a tree with a (necessarily involutive) port-preserving
+    automorphism ``f``, anonymity makes the run from ``f(s)`` the
+    ``f``-image of the run from ``s``: degrees and ports agree along the
+    mapped trajectory, so the observation and action sequences are
+    *identical* and positions map pointwise — the very argument behind
+    Fact 1.1's impossibility.  Deriving the mirror costs zero
+    interpreted rounds, which is exactly what the hard symmetric
+    instances (near-mirror pairs on symmetric lines, the Fact 1.1
+    checks) need: their two traces are built once, not twice.
+
+    The mirror keeps its own action/position lists, synced from the
+    source on :meth:`extend`, so every consumer invariant
+    (``len(positions) == len(actions) + 1``) holds at read time.
+    """
+
+    __slots__ = ()  # source/_mapping live in SoloTrace.__slots__
+
+    def __init__(self, source: SoloTrace, mapping: dict) -> None:
+        self.source = source
+        self._mapping = mapping
+        self.start = mapping[source.start]
+        self.agent = None  # never interpreted: the source is
+        self.actions = []
+        self.positions = [self.start]
+        self.status = ACTIVE
+        self.cycle_start = None
+        self.cycle_len = None
+        self._sync()
+
+    def _sync(self) -> None:
+        src = self.source
+        sa, sp = src.actions, src.positions
+        f = self._mapping
+        m = len(self.actions)
+        actions, positions = self.actions, self.positions
+        while m < len(sa):
+            actions.append(sa[m])
+            m += 1
+            positions.append(f[sp[m]])
+        self.status = src.status
+        self.cycle_start = src.cycle_start
+        self.cycle_len = src.cycle_len
+
+    def extend(self, upto: int) -> None:
+        src = self.source
+        if src.status == ACTIVE and len(src.actions) < upto:
+            src.extend(upto)
+        self._sync()
+
+
+class TraceCache:
+    """Traces shared across runs, keyed (prototype, tree, start).
+
+    Weak keying on both the prototype and the tree keeps trace memory
+    tied to the objects' lifetimes and the cache out of pickles (the
+    multiprocessing fan-out never ships it).  When the tree carries a
+    port-preserving automorphism ``f`` and the trace from ``f(start)``
+    is already cached, the new trace is derived as its
+    :class:`MirrorTrace` instead of being interpreted again.
+    """
+
+    def __init__(self) -> None:
+        import weakref
+
+        self._by_proto: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+        self._automorphisms: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+    def _automorphism(self, tree: Tree) -> Optional[dict]:
+        try:
+            hit = self._automorphisms.get(tree, "miss")
+        except TypeError:  # pragma: no cover - tree not weak-referenceable
+            return None
+        if hit == "miss":
+            from ..trees.automorphism import port_preserving_automorphism
+
+            hit = port_preserving_automorphism(tree)
+            self._automorphisms[tree] = hit
+        return hit
+
+    def get(
+        self, tree: Tree, prototype: AgentBase, start: int, *, use_keys: bool = True
+    ) -> SoloTrace:
+        import weakref
+
+        try:
+            per_tree = self._by_proto.get(prototype)
+            if per_tree is None:
+                per_tree = weakref.WeakKeyDictionary()
+                self._by_proto[prototype] = per_tree
+        except TypeError:  # prototype not weak-referenceable
+            return SoloTrace(tree, prototype, start, use_keys=use_keys)
+        entry = per_tree.get(tree)
+        if entry is None:
+            entry = ({}, {})  # (traces by start, distinguished-state registry)
+            per_tree[tree] = entry
+        traces, registry = entry
+        trace = traces.get(start)
+        if trace is None:
+            f = self._automorphism(tree)
+            if f is not None and f.get(start, start) != start:
+                src = traces.get(f[start])
+                if type(src) is SoloTrace:  # never chain mirrors
+                    trace = MirrorTrace(src, f)
+            if trace is None:
+                trace = SoloTrace(
+                    tree, prototype, start,
+                    use_keys=use_keys, merge_registry=registry,
+                )
+            traces[start] = trace
+        return trace
+
+    def clear(self) -> None:
+        self._by_proto.clear()
+        self._automorphisms.clear()
+
+
+#: The process-wide default cache (benchmarks clear it for fresh timings).
+GLOBAL_TRACE_CACHE = TraceCache()
+
+
+def solo_trace(
+    tree: Tree,
+    prototype: AgentBase,
+    start: int,
+    *,
+    cache: bool = True,
+    use_keys: bool = True,
+) -> SoloTrace:
+    """The (possibly cached) solo trace of ``prototype`` from ``start``."""
+    if cache:
+        return GLOBAL_TRACE_CACHE.get(tree, prototype, start, use_keys=use_keys)
+    return SoloTrace(tree, prototype, start, use_keys=use_keys)
+
+
+def ensure_lasso(trace: SoloTrace, budget: int = DEFAULT_TRACE_BUDGET) -> SoloTrace:
+    """Extend ``trace`` until it lassos (finished/cycled) or raise
+    :class:`~repro.errors.BudgetExceededError` at ``budget`` rounds."""
+    if not trace.complete:
+        trace.extend(budget)
+    if not trace.complete:
+        raise BudgetExceededError(
+            f"solo trace from start {trace.start} found no lasso within "
+            f"{budget} rounds"
+        )
+    return trace
+
+
+class TracedAutomaton(Automaton):
+    """A lassoed solo trace rolled into an explicit automaton.
+
+    State ``t`` emits the trace's round-``t+1`` action; transitions
+    ignore the observation (the trace already fixed every observation
+    the agent will see from its start node) and walk the chain, with the
+    lasso's back edge closing the cycle.  Only valid for the (tree,
+    start) the trace was recorded on — exactly the per-(tree, start)
+    action table the exact solvers consume.
+    """
+
+    def __init__(self, trace: SoloTrace) -> None:
+        m = trace.rounds_recorded
+        if m == 0 or not trace.complete:
+            raise SimulationError("traced_automaton needs a lassoed trace")
+        if trace.status == CYCLED:
+            back = trace.cycle_start
+        else:  # FINISHED: the last recorded action is the absorbing STAY
+            back = m - 1
+        nxt = [min(t + 1, m - 1) for t in range(m)]
+        nxt[m - 1] = back
+        self._next = nxt
+        self.trace_start = trace.start
+        self.trace_status = trace.status
+        super().__init__(
+            m, lambda s, _ip, _d: self._next[s], list(trace.actions), 0
+        )
+
+    def clone(self) -> "TracedAutomaton":
+        fresh = TracedAutomaton.__new__(TracedAutomaton)
+        fresh._next = self._next
+        fresh.trace_start = self.trace_start
+        fresh.trace_status = self.trace_status
+        fresh.num_states = self.num_states
+        fresh.output = self.output
+        fresh.initial_state = self.initial_state
+        fresh._fn = self._fn
+        fresh._table = self._table
+        fresh.state = self.initial_state
+        return fresh
+
+    def __repr__(self) -> str:
+        return (
+            f"TracedAutomaton(start={self.trace_start}, K={self.num_states}, "
+            f"{self.trace_status})"
+        )
+
+
+def traced_automaton(trace: SoloTrace) -> TracedAutomaton:
+    """Roll a lassoed trace into its per-(tree, start) automaton."""
+    return TracedAutomaton(trace)
+
+
+# ----------------------------------------------------------------------
+# Traced joint runs (the compiled backend's path for register programs)
+# ----------------------------------------------------------------------
+
+
+def _fresh_agents(prototype: AgentBase, count: int) -> tuple:
+    return tuple(prototype.clone() for _ in range(count))
+
+
+_CHUNK = 4096
+
+
+def _crossings_prefix(p1: list, p2: list, upto: int) -> int:
+    """Edge crossings over rounds 1..upto of two raw position lists."""
+    if upto <= 0:
+        return 0
+    if _np is not None and upto >= 64:
+        a = _np.array(p1[:upto + 1])
+        b = _np.array(p2[:upto + 1])
+        ap, ac = a[:-1], a[1:]
+        bp, bc = b[:-1], b[1:]
+        return int(((ac == bp) & (bc == ap) & (ac != bc)).sum())
+    return sum(
+        1
+        for ap, ac, bp, bc in zip(
+            p1[:upto], p1[1:upto + 1], p2[:upto], p2[1:upto + 1]
+        )
+        if ac == bp and bc == ap and ac != bc
+    )
+
+
+def _first_meet(p1: list, p2: list, lo: int, hi: int) -> int:
+    """First index in [lo, hi] where the position lists coincide, or -1."""
+    if _np is not None and hi - lo >= 64:
+        eq = _np.array(p1[lo:hi + 1]) == _np.array(p2[lo:hi + 1])
+        k = int(eq.argmax())
+        return lo + k if eq[k] else -1
+    off = next(
+        (
+            k
+            for k, (a, b) in enumerate(zip(p1[lo:hi + 1], p2[lo:hi + 1]))
+            if a == b
+        ),
+        -1,
+    )
+    return lo + off if off >= 0 else -1
+
+
+def _run_delay0_fast(
+    prototype: AgentBase,
+    t1: SoloTrace,
+    t2: SoloTrace,
+    max_rounds: int,
+    certify: bool,
+) -> RendezvousOutcome:
+    """Simultaneous-start replay: chunked scan over raw trace regions.
+
+    With delay 0 both agents' active-round indices equal the global
+    round, so the first meeting is the first index where the position
+    lists coincide; crossings are recovered afterwards in one pass over
+    the executed prefix.  Once a trace lassos short of the budget, the
+    remainder falls back to the folded per-round loop (where
+    certification also lives — it needs both lassos anyway).
+    """
+    p1, p2 = t1.positions, t2.positions
+    rnd = 1  # next round to examine
+    # Doubling chunks from a small start: short meetings over-extend the
+    # traces by at most one chunk, long co-extensions amortize the
+    # per-extend setup; whatever earlier pairs already recorded scans
+    # for free before any extension happens.
+    chunk = 64
+    while rnd <= max_rounds:
+        avail = min(len(p1), len(p2)) - 1
+        if avail < rnd:
+            hi = min(max_rounds, rnd + chunk - 1)
+            chunk = min(chunk << 1, _CHUNK)
+            if t1.status == ACTIVE and len(p1) <= hi:
+                t1.extend(hi)
+            if t2.status == ACTIVE and len(p2) <= hi:
+                t2.extend(hi)
+        else:
+            hi = min(max_rounds, avail)
+        scan_hi = min(hi, len(p1) - 1, len(p2) - 1)
+        if scan_hi < rnd:
+            break  # a trace lassoed short of the chunk: folded tail
+        met = _first_meet(p1, p2, rnd, scan_hi)
+        if met >= 0:
+            return RendezvousOutcome(
+                True, met, p1[met], met, False,
+                _crossings_prefix(p1, p2, met), None,
+                _fresh_agents(prototype, 2),
+            )
+        rnd = scan_hi + 1
+
+    if rnd > max_rounds:  # budget exhausted inside the raw regions
+        return RendezvousOutcome(
+            False, None, None, max_rounds, False,
+            _crossings_prefix(p1, p2, max_rounds), None,
+            _fresh_agents(prototype, 2),
+        )
+
+    # Folded tail: at least one trace is complete (finished or cycled).
+    crossings = _crossings_prefix(p1, p2, rnd - 1)
+    i1 = t1.fold(rnd - 1) if rnd > 1 else 0
+    i2 = t2.fold(rnd - 1) if rnd > 1 else 0
+    pos1, pos2 = p1[i1], p2[i2]
+    anchor = None
+    steps = 0
+    power = 1
+    for r in range(rnd, max_rounds + 1):
+        prev1, prev2 = pos1, pos2
+        i1 = r
+        if i1 > len(t1.actions):
+            if t1.status == ACTIVE:
+                t1.extend(i1)
+            if i1 > len(t1.actions):
+                i1 = t1.fold(i1)
+        i2 = r
+        if i2 > len(t2.actions):
+            if t2.status == ACTIVE:
+                t2.extend(i2)
+            if i2 > len(t2.actions):
+                i2 = t2.fold(i2)
+        pos1, pos2 = p1[i1], p2[i2]
+        if pos1 == prev2 and pos2 == prev1 and pos1 != pos2:
+            crossings += 1
+        if pos1 == pos2:
+            return RendezvousOutcome(
+                True, r, pos1, r, False, crossings, None,
+                _fresh_agents(prototype, 2),
+            )
+        if certify and t1.status != ACTIVE and t2.status != ACTIVE:
+            config = (i1, i2)
+            if config == anchor:
+                return RendezvousOutcome(
+                    False, None, None, r, True, crossings, None,
+                    _fresh_agents(prototype, 2),
+                )
+            steps += 1
+            if steps == power:
+                anchor = config
+                steps = 0
+                power <<= 1
+    return RendezvousOutcome(
+        False, None, None, max_rounds, False, crossings, None,
+        _fresh_agents(prototype, 2),
+    )
+
+
+def run_rendezvous_traced(
+    tree: Tree,
+    prototype: AgentBase,
+    start1: int,
+    start2: int,
+    *,
+    delay: int = 0,
+    delayed: int = 2,
+    max_rounds: int = 1_000_000,
+    certify: bool = False,
+    record_trace: bool = False,
+    cache: bool = True,
+) -> RendezvousOutcome:
+    """Replay the reference rendezvous semantics over solo traces.
+
+    Verdict parity follows the compiled backend's contract (``met`` /
+    ``meeting_round`` / ``meeting_node`` / ``certified_never`` identical
+    to the reference engine; ``rounds_executed`` of a certified run may
+    differ).  Certification compares folded trace indices and therefore
+    needs both traces lassoed; an unlassoed trace leaves the run honestly
+    undecided at the budget.  ``outcome.agents`` are fresh clones (see
+    the module docstring).
+    """
+    if not (0 <= start1 < tree.n and 0 <= start2 < tree.n):
+        raise SimulationError("start nodes outside the tree")
+    if delay < 0:
+        raise SimulationError("delay must be >= 0")
+    if delayed not in (1, 2):
+        raise SimulationError("'delayed' must be 1 or 2")
+
+    trace_log = Trace(start1, start2) if record_trace else None
+    if start1 == start2:
+        return RendezvousOutcome(
+            True, 0, start1, 0, False, 0, trace_log, _fresh_agents(prototype, 2)
+        )
+
+    t1 = solo_trace(tree, prototype, start1, cache=cache)
+    t2 = solo_trace(tree, prototype, start2, cache=cache)
+    sr1 = delay if delayed == 1 else 0
+    sr2 = delay if delayed == 2 else 0
+    first_joint = max(sr1, sr2) + 1
+
+    if delay == 0 and trace_log is None:
+        # The grid workloads' common case (simultaneous start, no trace
+        # recording): both active-round indices equal the global round,
+        # so the meeting search is a straight scan of the two position
+        # lists — done chunk-wise, with the crossing count recovered in
+        # one pass over the executed prefix.
+        return _run_delay0_fast(prototype, t1, t2, max_rounds, certify)
+
+    pos1, pos2 = start1, start2
+    # live lists: extend() appends in place, so these stay current
+    acts1, poss1 = t1.actions, t1.positions
+    acts2, poss2 = t2.actions, t2.positions
+    crossings = 0
+    anchor = None
+    steps = 0
+    power = 1
+
+    for rnd in range(1, max_rounds + 1):
+        prev1, prev2 = pos1, pos2
+        i1 = rnd - sr1  # the agents' active-round indices (<= 0: asleep)
+        i2 = rnd - sr2
+        if i1 >= 1:
+            if i1 > len(acts1):
+                if t1.status == ACTIVE:
+                    t1.extend(i1)
+                if i1 > len(acts1):  # lassoed short of i1: fold
+                    i1 = t1.fold(i1)
+            act1 = acts1[i1 - 1]
+            pos1 = poss1[i1]
+        else:
+            act1 = STAY
+        if i2 >= 1:
+            if i2 > len(acts2):
+                if t2.status == ACTIVE:
+                    t2.extend(i2)
+                if i2 > len(acts2):
+                    i2 = t2.fold(i2)
+            act2 = acts2[i2 - 1]
+            pos2 = poss2[i2]
+        else:
+            act2 = STAY
+
+        if trace_log is not None:
+            trace_log.append(RoundRecord(rnd, pos1, pos2, act1, act2))
+        if pos1 == prev2 and pos2 == prev1 and pos1 != pos2:
+            crossings += 1
+        if pos1 == pos2:
+            return RendezvousOutcome(
+                True, rnd, pos1, rnd, False, crossings, trace_log,
+                _fresh_agents(prototype, 2),
+            )
+        if certify and rnd > first_joint and t1.status != ACTIVE and t2.status != ACTIVE:
+            config = (i1, i2)
+            if config == anchor:
+                return RendezvousOutcome(
+                    False, None, None, rnd, True, crossings, trace_log,
+                    _fresh_agents(prototype, 2),
+                )
+            steps += 1
+            if steps == power:
+                anchor = config
+                steps = 0
+                power <<= 1
+
+    return RendezvousOutcome(
+        False, None, None, max_rounds, False, crossings, trace_log,
+        _fresh_agents(prototype, 2),
+    )
+
+
+def run_gathering_traced(
+    tree: Tree,
+    prototype: AgentBase,
+    starts: Sequence[int],
+    *,
+    delays: Optional[Sequence[int]] = None,
+    max_rounds: int = 1_000_000,
+    certify: bool = False,
+    cache: bool = True,
+) -> GatheringOutcome:
+    """Replay the reference gathering semantics over k solo traces."""
+    starts = list(starts)
+    delay_list = _validate(tree, starts, delays)
+    k = len(starts)
+    traces = [solo_trace(tree, prototype, s, cache=cache) for s in starts]
+
+    pos = list(starts)
+
+    def cluster_size() -> int:
+        counts: dict[int, int] = {}
+        for p in pos:
+            counts[p] = counts.get(p, 0) + 1
+        return max(counts.values())
+
+    largest = cluster_size()
+    if largest == k:
+        return GatheringOutcome(True, 0, pos[0], 0, tuple(pos), largest)
+
+    first_joint = max(delay_list) + 1
+    anchor = None
+    steps = 0
+    power = 1
+
+    poss = [tr.positions for tr in traces]  # live lists (see rendezvous)
+    folded = [0] * k
+    for rnd in range(1, max_rounds + 1):
+        for i in range(k):
+            a = rnd - delay_list[i]
+            if a >= 1:
+                tr = traces[i]
+                pi = poss[i]
+                if a >= len(pi):  # positions has rounds+1 entries
+                    if tr.status == ACTIVE:
+                        tr.extend(a)
+                    if a >= len(pi):
+                        a = tr.fold(a)
+                folded[i] = a
+                pos[i] = pi[a]
+        size = cluster_size()
+        largest = max(largest, size)
+        if size == k:
+            return GatheringOutcome(True, rnd, pos[0], rnd, tuple(pos), largest)
+        if (
+            certify
+            and rnd > first_joint
+            and all(tr.status != ACTIVE for tr in traces)
+        ):
+            config = tuple(folded)
+            if config == anchor:
+                return GatheringOutcome(
+                    False, None, None, rnd, tuple(pos), largest, True
+                )
+            steps += 1
+            if steps == power:
+                anchor = config
+                steps = 0
+                power <<= 1
+    return GatheringOutcome(False, None, None, max_rounds, tuple(pos), largest)
+
+
+# ----------------------------------------------------------------------
+# Exact sweeps over traced tables
+# ----------------------------------------------------------------------
+
+
+def sweep_delays_traced(
+    tree: Tree,
+    prototype: AgentBase,
+    start1: int,
+    start2: int,
+    *,
+    max_delay: int,
+    sides: Sequence[int] = (1, 2),
+    trace_budget: int = DEFAULT_TRACE_BUDGET,
+    max_configs: int = 4_000_000,
+    cache: bool = True,
+) -> list[DelayVerdict]:
+    """Decide a whole delay sweep for a register program, exactly.
+
+    Both starts' solo traces are lassoed once and rolled into
+    per-(tree, start) automata; the batched product-configuration solver
+    then decides every (θ, delayed side) choice over those tables.
+    Raises :class:`~repro.errors.BudgetExceededError` (no lasso within
+    ``trace_budget``, or solver guard) or
+    :class:`~repro.errors.LoweringError` — callers degrade to budgeted
+    per-run execution.
+    """
+    if start1 == start2:  # met at round 0 under every adversary choice
+        sides_ = list(dict.fromkeys(sides))
+        zero_side = 2 if 2 in sides_ else sides_[0]
+        return [
+            DelayVerdict(theta, side, True, 0, False)
+            for theta in range(max_delay + 1)
+            for side in sides_
+            if theta > 0 or side == zero_side
+        ]
+    a1 = traced_automaton(
+        ensure_lasso(solo_trace(tree, prototype, start1, cache=cache), trace_budget)
+    )
+    a2 = traced_automaton(
+        ensure_lasso(solo_trace(tree, prototype, start2, cache=cache), trace_budget)
+    )
+    return solve_all_delays(
+        tree, a1, start1, start2,
+        max_delay=max_delay, delayed_sides=tuple(sides),
+        max_configs=max_configs, prototype2=a2,
+    )
+
+
+def sweep_gathering_traced(
+    tree: Tree,
+    prototype: AgentBase,
+    starts: Sequence[int],
+    delay_vectors: Sequence[Sequence[int]],
+    *,
+    trace_budget: int = DEFAULT_TRACE_BUDGET,
+    max_configs: int = 4_000_000,
+    cache: bool = True,
+) -> list[GatheringVerdict]:
+    """Decide a whole gathering grid for a register program, exactly
+    (cf. :func:`sweep_delays_traced`)."""
+    starts = list(starts)
+    automata = [
+        traced_automaton(
+            ensure_lasso(solo_trace(tree, prototype, s, cache=cache), trace_budget)
+        )
+        for s in starts
+    ]
+    return solve_gathering(
+        tree, automata[0], starts, delay_vectors,
+        max_configs=max_configs, prototypes=automata,
+    )

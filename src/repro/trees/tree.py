@@ -49,7 +49,12 @@ class Tree:
     :func:`repro.trees.automorphism.canonical_form` for isomorphism tests.
     """
 
-    __slots__ = ("_port_to_nbr", "_nbr_to_port", "_n", "_hash", "_degrees", "_flat")
+    # __weakref__ lets caches (e.g. the solo-trace cache in
+    # repro.sim.traced) key on trees without pinning them in memory.
+    __slots__ = (
+        "_port_to_nbr", "_nbr_to_port", "_n", "_hash", "_degrees", "_flat",
+        "__weakref__",
+    )
 
     def __init__(self, port_to_nbr: Sequence[Sequence[int]], *, validate: bool = True):
         self._port_to_nbr: tuple[tuple[int, ...], ...] = tuple(

@@ -63,6 +63,72 @@ class TestRegisters:
         assert regs["x"] == 4
 
 
+class TestRegistersSnapshot:
+    """snapshot()/restore()/state_key() — the lowering subsystem's view."""
+
+    def test_snapshot_restore_roundtrip(self):
+        regs = Registers()
+        regs.declare("x", 10, initial=3)
+        snap = regs.snapshot()
+        regs["x"] = 9
+        regs.restore(snap)
+        assert regs["x"] == 3
+        assert regs.report()["x"] == (10, 3)
+
+    def test_snapshot_is_a_copy(self):
+        regs = Registers()
+        regs.declare("x", 10, initial=1)
+        snap = regs.snapshot()
+        regs["x"] = 7  # must not leak into the captured snapshot
+        assert snap["values"]["x"] == 1
+
+    def test_redeclaration_widening_survives_restore(self):
+        regs = Registers()
+        regs.declare("x", 3)
+        snap = regs.snapshot()
+        regs.declare("x", 10)  # doubling scheme widens the register
+        regs["x"] = 9
+        regs.restore(snap)
+        # back to the narrow declaration: the wide assignment is illegal
+        with pytest.raises(AgentProtocolError):
+            regs["x"] = 9
+        regs.declare("x", 10)  # re-widening works again after restore
+        regs["x"] = 9
+        assert regs.report()["x"] == (10, 9)
+
+    def test_peak_accounting_rewinds_with_restore(self):
+        regs = Registers()
+        regs.declare("x", 1000)
+        regs["x"] = 5
+        snap = regs.snapshot()
+        regs["x"] = 900  # exploratory branch spikes the peak
+        assert regs.bits_used() == 10
+        regs.restore(snap)
+        assert regs.report()["x"] == (1000, 5)
+        assert regs.bits_used() == 3  # peak account back to the snapshot
+        regs["x"] = 100
+        assert regs.report()["x"] == (1000, 100)  # and re-peaks normally
+
+    def test_state_key_covers_values_and_bounds(self):
+        a, b = Registers(), Registers()
+        for regs in (a, b):
+            regs.declare("x", 3, initial=2)
+        assert a.state_key() == b.state_key()
+        b.declare("x", 10)  # widened bound is generator-visible state
+        assert a.state_key() != b.state_key()
+        a.declare("x", 10)
+        assert a.state_key() == b.state_key()
+
+    def test_state_key_ignores_peaks(self):
+        a, b = Registers(), Registers()
+        for regs in (a, b):
+            regs.declare("x", 100)
+        a["x"] = 90  # peak spike ...
+        a["x"] = 0  # ... then back: same visible state as b
+        assert a.state_key() == b.state_key()
+        assert a.report() != b.report()  # but the accounting differs
+
+
 class TestCtxAndMoves:
     def _drive(self, gen, tree, start):
         """Minimal driver: run a routine to completion on a tree."""

@@ -28,6 +28,7 @@ SMOKE_ARGV = {
     "gather": ["--tree", "spider:2,2,2", "--starts", "1,3,5"],
     "gather-sweep": ["--tree", "line:9", "--agent", "counting:2",
                      "--starts", "0,1,3", "--delays", "0,0,0;1,0,2"],
+    "lower": ["baseline", "--tree", "star:4"],
     "viz": ["--tree", "star:3"],
     "report": [],
     "experiments": ["--quick"],
@@ -74,3 +75,43 @@ def test_scenarios_list_names_everything(capsys):
     out = capsys.readouterr().out
     for name in scenario_names():
         assert name in out
+
+
+def test_scenarios_list_shows_backend_eligibility(capsys):
+    """The eligibility column distinguishes native automata, lowerable
+    register programs, and backend-agnostic analysis kinds."""
+    assert main(["scenarios", "list"]) == 0
+    lines = {ln.split()[0]: ln for ln in capsys.readouterr().out.splitlines()}
+    assert "native" in lines["delays-line"]
+    assert "lowerable" in lines["verify-small"]
+    assert "lowerable" in lines["success-families"]
+    assert "agnostic" in lines["atlas"]
+    # specs whose agent string needs executor-supplied parameters fall
+    # back to the kind's annotation, never to "?" (thm31-sweep's agent
+    # is the bare family name "counting")
+    assert "native" in lines["thm31-sweep"]
+
+
+def test_lower_rejects_malformed_agent_spec_cleanly(capsys):
+    # "counting" without its :K parameter: one clean error line, no
+    # ValueError traceback (the command promises degrade, never a crash)
+    with pytest.raises(SystemExit) as exc:
+        main(["lower", "counting", "--tree", "line:5"])
+    assert "bad agent spec" in str(exc.value)
+
+
+def test_lower_reports_states_and_bits(capsys):
+    """`repro lower` prints lowered state counts and memory bits for
+    route B, and the honest route-A refusal for start-degree-dependent
+    programs (the baseline reconstructs from its start)."""
+    assert main(["lower", "baseline", "--tree", "star:4"]) == 0
+    out = capsys.readouterr().out
+    assert "lowerable" in out
+    assert "route A" in out and "route B" in out
+    assert "states" in out and "bits" in out
+    assert "lowered 5/5 starts" in out
+
+    # a native automaton just reports its own size
+    assert main(["lower", "counting:2", "--tree", "line:7"]) == 0
+    out = capsys.readouterr().out
+    assert "native" in out and "K=8" in out

@@ -1,0 +1,197 @@
+"""Property tests: lowered register programs ≡ the reference engine.
+
+The reference engine stays the oracle.  On randomized (tree, bounded-
+register program, starts, delays) instances, both lowering routes must
+reproduce its verdicts exactly:
+
+- route A — :func:`repro.agents.lowering.lower_to_automaton` rolls the
+  program's reachable machine states into an explicit automaton, run on
+  the compiled table backend;
+- route B — :func:`repro.sim.traced.run_rendezvous_traced` replays
+  per-(tree, start) solo traces, and the exact sweep solvers consume the
+  same traces as per-start automata (``prototype2`` /
+  ``prototypes`` heterogeneous seams).
+
+Gathering outcomes are held to the same contract.  Where the reference
+engine cannot decide (programs expose no finite state, so it can never
+certify non-meeting), the lowered paths may *prove* more — but must
+never contradict: a lowered ``certified_never`` requires the oracle to
+have not met within its decisive budget.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.agents import AgentProgram, Ctx, NULL_PORT, move, stay
+from repro.agents.lowering import lower_to_automaton
+from repro.errors import BudgetExceededError, LoweringError
+from repro.sim import run_rendezvous, run_rendezvous_compiled
+from repro.sim.multi import run_gathering_reference
+from repro.sim.traced import (
+    run_gathering_traced,
+    run_rendezvous_traced,
+    sweep_delays_traced,
+    sweep_gathering_traced,
+)
+from repro.trees import random_relabel, random_tree
+
+_BUDGET = 6_000
+
+
+def make_program(pattern, pause, bound, repeats):
+    """A bounded-register walker: loop `pattern` ports with pauses.
+
+    ``repeats is None`` loops forever (the trace must find the machine
+    cycle); a finite ``repeats`` makes the program return (wait forever).
+    """
+
+    def program(start_degree, regs):
+        ctx = Ctx(NULL_PORT, start_degree)
+        regs.declare("c", bound)
+        rounds = range(repeats) if repeats is not None else iter(int, 1)
+        for _ in rounds:
+            for port in pattern:
+                regs["c"] = (regs["c"] + 1) % (bound + 1)
+                yield from move(ctx, port)
+            yield from stay(ctx, pause)
+
+    return lambda: AgentProgram(program)
+
+
+@st.composite
+def instances(draw, max_n=8):
+    n = draw(st.integers(2, max_n))
+    tree_seed = draw(st.integers(0, 2**20))
+    rng = random.Random(tree_seed)
+    tree = random_relabel(random_tree(n, rng), rng)
+    pattern = draw(st.lists(st.integers(0, 2), min_size=1, max_size=4))
+    pause = draw(st.integers(0, 2))
+    bound = draw(st.integers(1, 3))
+    repeats = draw(st.one_of(st.none(), st.integers(1, 4)))
+    factory = make_program(tuple(pattern), pause, bound, repeats)
+    u = draw(st.integers(0, n - 1))
+    v = draw(st.integers(0, n - 1))
+    return tree, factory, u, v
+
+
+def assert_verdicts_agree(ref, low):
+    """Oracle vs lowered single-run contract (see module docstring)."""
+    assert ref.met == low.met
+    if ref.met:
+        assert ref.meeting_round == low.meeting_round
+        assert ref.meeting_node == low.meeting_node
+        assert ref.crossings == low.crossings
+    elif low.certified_never:
+        assert not ref.met  # proof must never contradict the oracle
+
+
+@settings(max_examples=50, deadline=None)
+@given(instances(), st.integers(0, 4), st.sampled_from([1, 2]))
+def test_traced_run_matches_reference(instance, delay, delayed):
+    tree, factory, u, v = instance
+    ref = run_rendezvous(
+        tree, factory(), u, v,
+        delay=delay, delayed=delayed, max_rounds=_BUDGET, certify=True,
+    )
+    low = run_rendezvous_traced(
+        tree, factory(), u, v,
+        delay=delay, delayed=delayed, max_rounds=_BUDGET, certify=True,
+    )
+    assert_verdicts_agree(ref, low)
+
+
+@settings(max_examples=30, deadline=None)
+@given(instances(), st.integers(0, 3), st.sampled_from([1, 2]))
+def test_lowered_automaton_matches_reference(instance, delay, delayed):
+    tree, factory, u, v = instance
+    proto = factory()
+    try:
+        automaton = lower_to_automaton(proto, tree.degrees())
+    except (LoweringError, BudgetExceededError):
+        return  # failover to route B is the contract, tested above
+    ref = run_rendezvous(
+        tree, proto, u, v,
+        delay=delay, delayed=delayed, max_rounds=_BUDGET, certify=True,
+    )
+    low = run_rendezvous_compiled(
+        tree, automaton, u, v,
+        delay=delay, delayed=delayed, max_rounds=_BUDGET, certify=True,
+    )
+    assert_verdicts_agree(ref, low)
+
+
+@settings(max_examples=30, deadline=None)
+@given(instances(max_n=7), st.integers(0, 4))
+def test_traced_delay_sweep_matches_per_delay_reference(instance, max_delay):
+    tree, factory, u, v = instance
+    proto = factory()
+    try:
+        verdicts = sweep_delays_traced(
+            tree, proto, u, v, max_delay=max_delay, trace_budget=200_000
+        )
+    except (LoweringError, BudgetExceededError):
+        return  # backends degrade to budgeted per-run verdicts
+    for dv in verdicts:
+        if dv.met and dv.meeting_round > _BUDGET:
+            continue  # exact solver is unbudgeted; oracle check too costly
+        ref = run_rendezvous(
+            tree, factory(), u, v,
+            delay=dv.delay, delayed=dv.delayed, max_rounds=_BUDGET,
+        )
+        assert ref.met == dv.met
+        if dv.met:
+            assert ref.meeting_round == dv.meeting_round
+        else:
+            # the exact solver always decides: non-meeting is proof
+            assert dv.certified_never and not ref.met
+
+
+@st.composite
+def gathering_instances(draw, max_n=8, k=3):
+    tree, factory, _u, _v = draw(instances(max_n=max_n))
+    starts = [draw(st.integers(0, tree.n - 1)) for _ in range(k)]
+    delays = [draw(st.integers(0, 3)) for _ in range(k)]
+    return tree, factory, starts, delays
+
+
+@settings(max_examples=40, deadline=None)
+@given(gathering_instances())
+def test_traced_gathering_matches_reference(instance):
+    tree, factory, starts, delays = instance
+    ref = run_gathering_reference(
+        tree, factory(), starts, delays=delays, max_rounds=_BUDGET, certify=True
+    )
+    low = run_gathering_traced(
+        tree, factory(), starts, delays=delays, max_rounds=_BUDGET, certify=True
+    )
+    assert ref.gathered == low.gathered
+    if ref.gathered:
+        assert ref.gathering_round == low.gathering_round
+        assert ref.gathering_node == low.gathering_node
+    elif low.certified_never:
+        assert not ref.gathered
+
+
+@settings(max_examples=25, deadline=None)
+@given(gathering_instances(max_n=7))
+def test_traced_gathering_sweep_matches_reference(instance):
+    tree, factory, starts, delays = instance
+    proto = factory()
+    try:
+        (verdict,) = sweep_gathering_traced(
+            tree, proto, starts, [delays], trace_budget=200_000
+        )
+    except (LoweringError, BudgetExceededError):
+        return
+    if verdict.gathered and verdict.gathering_round > _BUDGET:
+        return  # exact solver is unbudgeted; oracle check too costly
+    ref = run_gathering_reference(
+        tree, factory(), starts, delays=delays, max_rounds=_BUDGET
+    )
+    assert ref.gathered == verdict.gathered
+    if verdict.gathered:
+        assert ref.gathering_round == verdict.gathering_round
+    else:
+        assert verdict.certified_never and not ref.gathered

@@ -83,11 +83,13 @@ class TestRunner:
 
     def test_backend_agnostic_kind_rejects_backend_hint(self):
         # atlas never consults a backend; a forced hint must not be
-        # silently recorded as the executing engine
+        # silently recorded as the executing engine.  (gap-table,
+        # success-families and verify-small used to sit here — they are
+        # backend-sensitive now that lowering runs their program agents.)
         with pytest.raises(ScenarioError):
             Runner().run("atlas", backend="reference")
         with pytest.raises(ScenarioError):
-            Runner(backend="compiled").run("gap-table")
+            Runner(backend="compiled").run("minimization")
         assert Runner().run("atlas", params={"n": 4}).backend == "auto"
 
     def test_undecided_verdicts_are_not_reported_as_certified(self):

@@ -53,6 +53,39 @@ def load_bench_gathering():
     return module
 
 
+def load_bench_lowering():
+    path = REPO_ROOT / "benchmarks" / "bench_lowering.py"
+    spec = importlib.util.spec_from_file_location("bench_lowering", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["bench_lowering"] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.bench_smoke
+def test_bench_lowering_quick_records_speedup(tmp_path):
+    # Quick mode runs the strong-sharing subset of the success-families
+    # grid plus a small lowered verify-small, merging a "lowering"
+    # section into BENCH_engine.json (in tmp_path — the versioned file
+    # is refreshed only by `make bench-smoke`).
+    section = load_bench_lowering().main(quick=True, out_dir=tmp_path)
+
+    on_disk = json.loads((tmp_path / "BENCH_engine.json").read_text())
+    assert on_disk["lowering"]["success_families_grid"]["pairs"] > 0
+
+    grid = section["success_families_grid"]
+    # Correctness gates hard; the wall-clock ratio gates loosely (CI
+    # boxes are noisy — the honest >= 5x bar lives in the recorded JSON
+    # from the full `benchmarks/bench_lowering.py` run).
+    assert grid["verdicts_match"], "lowered grid diverged from the reference"
+    assert grid["speedup"] >= 3
+    # the lowered verify-small grid ran end to end and persisted
+    verify = section["verify_small"]
+    assert verify["backend"] == "compiled"
+    assert all(row["failures"] == 0 for row in verify["rows"])
+    assert (tmp_path / "verify-small.json").exists()
+
+
 @pytest.mark.bench_smoke
 def test_bench_gathering_quick_emits_result(tmp_path):
     # Quick mode runs the first gathering grid and persists its
