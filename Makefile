@@ -1,9 +1,18 @@
 PY := PYTHONPATH=src python
+BENCH_BASELINE := /tmp/BENCH_engine.baseline.json
+GOLDEN_TMP := /tmp/repro-golden-check
+GOLDEN_SCENARIOS := verify-small gathering-line-k3 thm31-sweep atlas-programs
 
-.PHONY: test bench-smoke bench-engine scenarios-smoke bench-scenarios
+.PHONY: test lint bench-smoke bench-engine scenarios-smoke bench-scenarios \
+        check-regression golden-diff
 
 test:
 	$(PY) -m pytest -x -q
+
+# Ruff over everything CI lints; same invocation as the CI lint job
+# (install the pinned toolchain with: pip install -r requirements-ci.txt).
+lint:
+	ruff check src tests benchmarks
 
 # Quick benchmark smokes: refresh BENCH_engine.json (engine + lowering
 # sections) and the first gathering grid's JSON result in seconds.
@@ -15,6 +24,26 @@ bench-smoke:
 # Full-size engine-backend benchmark (the numbers quoted in the README).
 bench-engine:
 	$(PY) benchmarks/bench_engine.py
+
+# Bench regression gate, exactly as CI runs it: snapshot the committed
+# BENCH_engine.json, refresh it via bench-smoke, compare with tolerance.
+check-regression:
+	cp BENCH_engine.json $(BENCH_BASELINE)
+	$(MAKE) bench-smoke
+	$(PY) benchmarks/check_regression.py \
+	    --baseline $(BENCH_BASELINE) --current BENCH_engine.json
+
+# Golden row-level drift gate, exactly as CI runs it: re-run the golden
+# scenarios and `scenarios diff` them against the checked-in goldens.
+golden-diff:
+	mkdir -p $(GOLDEN_TMP)
+	@for name in $(GOLDEN_SCENARIOS); do \
+	    echo "== $$name"; \
+	    $(PY) -m repro scenarios run $$name --save --out $(GOLDEN_TMP) \
+	        > /dev/null || exit 1; \
+	    $(PY) -m repro scenarios diff $(GOLDEN_TMP)/$$name.json \
+	        benchmarks/results/golden/$$name.json || exit 1; \
+	done
 
 # Quick pass over the scenario registry (the experiment tables, small grids).
 scenarios-smoke:

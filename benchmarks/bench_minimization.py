@@ -1,9 +1,24 @@
-"""Honest-bits check: minimized state counts of the victim families.
+"""Honest-bits checks: minimized state counts, victims and lowered programs.
 
 The lower-bound curves plot "memory bits" = ceil(log2 K); that is only fair
-if K is minimal.  This bench minimizes every victim family member and
-reports original vs minimal states — the counting walkers must be (nearly)
-incompressible, or E1's x-axis would be inflated.
+if K is minimal.  Two scenarios enforce it:
+
+1. ``minimization`` — the victim families: every structured walker is
+   minimized and must be (nearly) incompressible, or E1's x-axis would
+   be inflated.
+2. ``atlas-programs`` — the lowered grid: every library register program
+   is lowered (route-A machine-state enumeration or route-B traced
+   lassos), minimized over its lowering alphabet, circuit-profiled, and
+   paired with the lower-bound floors.  The minimized column is the
+   honest "memory bits" for compiled programs; the Theorem 4.1 agent's
+   cells must shrink strictly (its traces share their steady-state
+   suffix across starts — the dead-state release PR 4 shipped).
+
+The atlas run persists ``benchmarks/results/atlas-programs.json``; the
+checked-in golden under ``benchmarks/results/golden/`` pins its rows
+(and, because the golden test re-runs on the default backend while CI's
+golden-diff job replays it through ``repro scenarios diff``, pins
+cross-backend row parity too).
 """
 
 from _util import run_scenario
@@ -14,3 +29,21 @@ def test_victims_are_near_minimal(benchmark):
     assert result.ok
     for row in result.rows:
         assert row["minimal"] >= row["states"] // 2, row
+
+
+def test_lowered_grid_minimizes(benchmark):
+    result = run_scenario("atlas-programs", benchmark)
+    assert result.ok
+    for row in result.rows:
+        assert row["min_states"] <= row["raw_states"], row
+    thm41 = [r for r in result.rows if r["program"] == "thm41"]
+    assert thm41, "the atlas grid must cover the Theorem 4.1 agent"
+    for row in thm41:
+        # strict shrink: the dead-stage-1 release makes sibling traces
+        # share their steady-state suffix, and minimization must find it
+        assert row["min_states"] < row["raw_states"], row
+
+
+if __name__ == "__main__":
+    run_scenario("minimization")
+    run_scenario("atlas-programs")

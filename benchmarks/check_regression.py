@@ -1,0 +1,128 @@
+"""Bench regression gate: compare a refreshed BENCH_engine.json to a baseline.
+
+``make bench-smoke`` rewrites ``BENCH_engine.json`` with freshly measured
+sections; this script walks both the refreshed file and a committed
+baseline, collects every recorded timing (keys ending in ``_seconds``,
+matched by dotted path), and fails when any timing slowed down by more
+than the tolerance factor:
+
+    current > tolerance * max(baseline, floor)
+
+The floor guards the sub-hundredth-second micro-timings (the batch-solver
+best-of runs take a few milliseconds; scheduler jitter alone can triple
+them) — a timing only gates once its baseline is measurable.  Paths
+present on one side only are reported but never fail the gate: quick-mode
+refreshes legitimately carry different instance sizes than a full run,
+but their section structure is identical.
+
+Usage (what ``make check-regression`` and the CI job run)::
+
+    python benchmarks/check_regression.py \
+        --baseline /tmp/BENCH_engine.baseline.json --current BENCH_engine.json
+
+Exit status: 0 = within tolerance, 1 = regression, 2 = unusable inputs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+DEFAULT_TOLERANCE = 2.5
+DEFAULT_FLOOR = 0.02  # seconds: baselines below this are jitter-dominated
+
+
+def collect_timings(payload, prefix: str = "") -> dict[str, float]:
+    """Every ``*_seconds`` number in the document, keyed by dotted path."""
+    out: dict[str, float] = {}
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            if (
+                isinstance(value, (int, float))
+                and not isinstance(value, bool)
+                and str(key).endswith("_seconds")
+            ):
+                out[path] = float(value)
+            else:
+                out.update(collect_timings(value, path))
+    elif isinstance(payload, list):
+        for idx, value in enumerate(payload):
+            out.update(collect_timings(value, f"{prefix}[{idx}]"))
+    return out
+
+
+def compare(
+    baseline: dict[str, float],
+    current: dict[str, float],
+    *,
+    tolerance: float = DEFAULT_TOLERANCE,
+    floor: float = DEFAULT_FLOOR,
+) -> tuple[list[str], list[str]]:
+    """(regressions, notes) — human-readable lines."""
+    regressions: list[str] = []
+    notes: list[str] = []
+    for path in sorted(set(baseline) | set(current)):
+        if path not in current:
+            notes.append(f"  - {path}: only in baseline (skipped)")
+            continue
+        if path not in baseline:
+            notes.append(f"  - {path}: only in current (skipped)")
+            continue
+        base = baseline[path]
+        cur = current[path]
+        limit = tolerance * max(base, floor)
+        ratio = cur / base if base > 0 else float("inf")
+        line = f"{path}: {base:.4f}s -> {cur:.4f}s ({ratio:.2f}x)"
+        if cur > limit:
+            regressions.append(f"  ! {line} exceeds {tolerance}x tolerance")
+        else:
+            notes.append(f"  . {line}")
+    return regressions, notes
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True, type=pathlib.Path,
+                        help="committed BENCH_engine.json snapshot")
+    parser.add_argument("--current", required=True, type=pathlib.Path,
+                        help="freshly refreshed BENCH_engine.json")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="fail on current > tolerance * baseline "
+                             f"(default {DEFAULT_TOLERANCE})")
+    parser.add_argument("--floor", type=float, default=DEFAULT_FLOOR,
+                        help="baseline floor in seconds for jitter-dominated "
+                             f"micro-timings (default {DEFAULT_FLOOR})")
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = collect_timings(json.loads(args.baseline.read_text()))
+        current = collect_timings(json.loads(args.current.read_text()))
+    except (OSError, ValueError) as exc:
+        print(f"check_regression: cannot read inputs: {exc}", file=sys.stderr)
+        return 2
+    if not baseline:
+        print(f"check_regression: no *_seconds timings in {args.baseline}",
+              file=sys.stderr)
+        return 2
+
+    regressions, notes = compare(
+        baseline, current, tolerance=args.tolerance, floor=args.floor
+    )
+    print(f"bench regression gate: {len(baseline)} baseline timings, "
+          f"tolerance {args.tolerance}x, floor {args.floor}s")
+    for line in notes:
+        print(line)
+    if regressions:
+        print(f"\n{len(regressions)} timing(s) regressed:")
+        for line in regressions:
+            print(line)
+        return 1
+    print("\nall recorded timings within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

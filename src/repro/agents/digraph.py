@@ -19,7 +19,13 @@ import math
 from collections.abc import Sequence
 from dataclasses import dataclass
 
-__all__ = ["FunctionalDigraph", "analyze_functional", "lcm_of"]
+__all__ = [
+    "FunctionalDigraph",
+    "CircuitProfile",
+    "analyze_functional",
+    "circuit_profile",
+    "lcm_of",
+]
 
 
 def lcm_of(values: Sequence[int]) -> int:
@@ -127,3 +133,68 @@ def analyze_functional(f: Sequence[int]) -> FunctionalDigraph:
         tail_length=tuple(tail),
         gamma=gamma,
     )
+
+
+@dataclass(frozen=True)
+class CircuitProfile:
+    """Circuit structure of an automaton, per observation of an alphabet.
+
+    The paper's γ analysis fixes *one* observation (degree 2 on the line:
+    π') and decomposes its functional digraph.  A general automaton over
+    an alphabet of ``(in_port, degree)`` observations has one functional
+    restriction per observation; this profile carries them all, plus the
+    natural aggregates the program-atlas rows report:
+
+    - ``gamma`` — lcm of the per-observation γ's: the period after which
+      *any* repeated fixed observation provably cycles the machine;
+    - ``circuits`` — total circuit count across observations;
+    - ``max_tail`` — the longest burn-in before any orbit under any
+      single observation reaches its circuit.
+    """
+
+    alphabet: tuple[tuple[int, int], ...]
+    per_observation: tuple[FunctionalDigraph, ...]
+
+    @property
+    def gamma(self) -> int:
+        return lcm_of([d.gamma for d in self.per_observation])
+
+    @property
+    def circuits(self) -> int:
+        return sum(len(d.circuits) for d in self.per_observation)
+
+    @property
+    def max_tail(self) -> int:
+        return max(d.max_tail() for d in self.per_observation)
+
+    def observation(self, in_port: int, degree: int) -> FunctionalDigraph:
+        """The functional decomposition for one observation."""
+        return self.per_observation[self.alphabet.index((in_port, degree))]
+
+
+def circuit_profile(automaton, alphabet=None) -> CircuitProfile:
+    """Per-observation functional decomposition of an automaton.
+
+    ``automaton`` is anything with ``num_states`` and
+    ``transition(state, in_port, degree)``; ``alphabet`` defaults to the
+    automaton's own (a lowered automaton knows its lowering alphabet).
+    This is the seam that feeds minimized lowered machines into the §4.2
+    circuit machinery: on a line automaton with alphabet
+    ``[(0, 1), (0, 2)]``, ``profile.observation(0, 2)`` is exactly the
+    π'-digraph the Theorem 4.2 construction consumes.
+    """
+    if alphabet is None:
+        declared = getattr(automaton, "alphabet", None)
+        if declared is None:
+            raise ValueError(
+                "automaton carries no observation alphabet; pass one explicitly"
+            )
+        alphabet = sorted(declared)
+    alphabet = tuple((int(ip), int(d)) for ip, d in alphabet)
+    per = tuple(
+        analyze_functional(
+            [automaton.transition(s, ip, d) for s in range(automaton.num_states)]
+        )
+        for ip, d in alphabet
+    )
+    return CircuitProfile(alphabet=alphabet, per_observation=per)

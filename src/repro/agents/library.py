@@ -13,6 +13,18 @@ parameter, plus fully random automata:
   (exercises the Parity Lemma machinery: null moves shift parity);
 - :func:`random_tree_automaton` — uniform victim for trees of max degree 3
   (Thm 4.3 experiments).
+
+The zoo also keeps *register-program* renditions of the structured
+walkers (:func:`counting_program`, :func:`pausing_program`).  Unlike the
+Theorem 4.1 agent and the baseline — whose explore-first structure makes
+their machine state genuinely depend on the start degree — these walkers
+are degree-oblivious: their start action is fixed and their machine
+states merge after one observation, so route-A lowering
+(:func:`~repro.agents.lowering.lower_to_automaton`) turns them into
+explicit degree-alphabet automata.  They anchor the program-memory atlas:
+the lowered, minimized machine must coincide (behaviorally and in state
+count) with the hand-written automaton family, which cross-validates the
+whole lowering → minimization pipeline against known-minimal machines.
 """
 
 from __future__ import annotations
@@ -21,12 +33,15 @@ import random
 from typing import Optional
 
 from .automaton import Automaton, LineAutomaton
-from .observations import STAY
+from .observations import NULL_PORT, STAY
+from .program import AgentProgram, Ctx, Registers, Routine, move, stay
 
 __all__ = [
     "alternator",
     "counting_walker",
     "pausing_walker",
+    "counting_program",
+    "pausing_program",
     "random_tree_automaton",
 ]
 
@@ -92,6 +107,57 @@ def pausing_walker(pause: int) -> LineAutomaton:
         offset = s % (pause + 1)
         outputs.append(block if offset == 0 else STAY)
     return LineAutomaton(degree_transition=transitions, output=outputs)
+
+
+def _counting_routine(start_degree: int, regs: Registers, k: int) -> Routine:
+    """Register-program rendition of :func:`counting_walker`.
+
+    The start degree is ignored (the walker's first move is port 0 no
+    matter where it stands), so the program is route-A lowerable; the
+    ``step``/``phase`` registers mirror the walker's ``(phase, c)`` state
+    exactly and cost the same k + 1 declared bits.
+    """
+    period = 2**k
+    ctx = Ctx(NULL_PORT, start_degree)
+    regs.declare("step", period - 1)
+    regs.declare("phase", 1)
+    while True:
+        yield from move(ctx, (regs["phase"] + regs["step"]) % 2)
+        step = (regs["step"] + 1) % period
+        regs["step"] = step
+        if step == 0:
+            regs["phase"] = regs["phase"] ^ 1
+
+
+def counting_program(k: int) -> AgentProgram:
+    """The k-bit counting walker as a bounded-register program."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    return AgentProgram(_counting_routine, k)
+
+
+def _pausing_routine(start_degree: int, regs: Registers, pause: int) -> Routine:
+    """Register-program rendition of :func:`pausing_walker` (same cycle:
+    move port 0, idle ``pause`` rounds, move port 1, idle, repeat)."""
+    ctx = Ctx(NULL_PORT, start_degree)
+    regs.declare("idle", max(pause, 1))
+    regs.declare("heading", 1)
+    while True:
+        yield from move(ctx, regs["heading"])
+        idle = pause
+        while idle > 0:
+            regs["idle"] = idle
+            yield from stay(ctx, 1)
+            idle -= 1
+        regs["idle"] = 0
+        regs["heading"] = regs["heading"] ^ 1
+
+
+def pausing_program(pause: int) -> AgentProgram:
+    """The pausing walker as a bounded-register program."""
+    if pause < 0:
+        raise ValueError("pause must be >= 0")
+    return AgentProgram(_pausing_routine, pause)
 
 
 def random_tree_automaton(

@@ -41,6 +41,7 @@ engine — never a crash, never a silent wrong answer.
 from __future__ import annotations
 
 import dataclasses
+import weakref
 from collections import deque
 from collections.abc import Iterable
 from typing import Optional
@@ -54,6 +55,7 @@ from .program import AgentProgram, Ctx, Registers
 __all__ = [
     "machine_state_key",
     "lower_to_automaton",
+    "lowered_for",
     "LoweredAutomaton",
 ]
 
@@ -385,3 +387,56 @@ def lower_to_automaton(
 
 def _source_of(prototype: AgentProgram) -> str:
     return repr(prototype)
+
+
+# Lowering is pure in (prototype, degree alphabet, budgets): the atlas grid
+# re-lowers the same prototypes across trees (every line shares the degree
+# alphabet {1, 2}), so outcomes — including refusals — are memoized.  Weak
+# keying ties cache lifetime to the prototype object and keeps the cache
+# out of pickles, exactly like the compiled-table cache.
+_LOWERING_CACHE: "weakref.WeakKeyDictionary[AgentProgram, dict]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def lowered_for(
+    prototype: AgentProgram,
+    degrees: Iterable[int],
+    *,
+    state_budget: int = 512,
+    step_budget: int = 250_000,
+) -> LoweredAutomaton:
+    """Memoized :func:`lower_to_automaton`.
+
+    Failures are cached too: a program that refuses to lower over an
+    alphabet (start-degree dependence, unfreezable state) or trips a
+    budget will do so again for the same inputs, and the atlas grid must
+    not pay the enumeration once per tree.  The cached exception is
+    re-raised each time.
+    """
+    alphabet = tuple(_observation_alphabet(degrees))
+    key = (alphabet, state_budget, step_budget)
+    try:
+        per_proto = _LOWERING_CACHE.get(prototype)
+    except TypeError:  # not weak-referenceable: lower uncached
+        return lower_to_automaton(
+            prototype, (d for _ip, d in alphabet),
+            state_budget=state_budget, step_budget=step_budget,
+        )
+    if per_proto is None:
+        per_proto = {}
+        _LOWERING_CACHE[prototype] = per_proto
+    hit = per_proto.get(key)
+    if hit is None:
+        try:
+            hit = lower_to_automaton(
+                prototype, {d for _ip, d in alphabet},
+                state_budget=state_budget, step_budget=step_budget,
+            )
+        except (LoweringError, BudgetExceededError) as exc:
+            per_proto[key] = exc
+            raise
+        per_proto[key] = hit
+    if isinstance(hit, Exception):
+        raise hit
+    return hit

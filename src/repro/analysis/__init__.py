@@ -13,6 +13,11 @@ from .feasibility import (
     summarize_tree,
 )
 from .gap import GapRow, format_gap_table, gap_table
+from .program_atlas import (
+    DEFAULT_ATLAS_GRID,
+    ProgramAtlasRow,
+    program_atlas_rows,
+)
 from .tradeoff import TradeoffRow, reps_factor_tradeoff, stress_instances
 from .phases import Phase, format_timeline, stage_timeline
 from .report import ReportScale, generate_report
@@ -39,6 +44,9 @@ __all__ = [
     "gap_table",
     "format_gap_table",
     "GapRow",
+    "DEFAULT_ATLAS_GRID",
+    "ProgramAtlasRow",
+    "program_atlas_rows",
     "Series",
     "growth_ratios",
     "fit_loglog_slope",

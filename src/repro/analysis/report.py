@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from .gap import format_gap_table, gap_table
+from .program_atlas import DEFAULT_ATLAS_GRID, program_atlas_rows
 from .stats import fit_loglog_slope, growth_ratios
 from .sweep import (
     memory_vs_leaves,
@@ -35,14 +36,18 @@ class ReportScale:
     leaf_total_nodes: int
     prime_lengths: tuple[int, ...]
     thm31_ks: tuple[int, ...]
+    atlas_programs: int = 2  # how many atlas grid programs to include
 
     @classmethod
     def quick(cls) -> "ReportScale":
-        return cls((0, 1, 3), (4, 8, 16), 60, (5, 9, 17), (1, 2, 3))
+        return cls((0, 1, 3), (4, 8, 16), 60, (5, 9, 17), (1, 2, 3), 2)
 
     @classmethod
     def full(cls) -> "ReportScale":
-        return cls((0, 1, 3, 7, 15), (4, 8, 16, 32), 120, (5, 9, 17, 33, 65), (1, 2, 3, 4, 5))
+        return cls(
+            (0, 1, 3, 7, 15), (4, 8, 16, 32), 120, (5, 9, 17, 33, 65),
+            (1, 2, 3, 4, 5), len(DEFAULT_ATLAS_GRID),
+        )
 
 
 def generate_report(scale: ReportScale | None = None) -> str:
@@ -83,6 +88,26 @@ def generate_report(scale: ReportScale | None = None) -> str:
     parts.append(
         f"delay-0 bits flat ({min(delay0)}..{max(delay0)}); "
         f"arbitrary-delay bits grow {arb[0]} -> {arb[-1]} (~2 log n).\n"
+    )
+
+    parts.append("## Program memory atlas — minimized lowered machines\n")
+    atlas = program_atlas_rows(dict(list(DEFAULT_ATLAS_GRID.items())[: scale.atlas_programs]))
+    header = (
+        f"{'program':>20} {'tree':>14} {'route':>5} {'raw':>7} {'min':>7} "
+        f"{'bits':>4} {'lb':>3} {'gamma':>5} {'defeat':>6}"
+    )
+    lines = [header, "-" * len(header)]
+    for r in atlas:
+        lines.append(
+            f"{r.program:>20} {r.tree:>14} {r.route:>5} {r.raw_states:>7} "
+            f"{r.min_states:>7} {r.bits_min:>4} {r.lb_bits:>3} {r.gamma:>5} "
+            f"{r.defeat_edges if r.defeat_edges is not None else '-':>6}"
+        )
+    parts.append("```\n" + "\n".join(lines) + "\n```")
+    dropped = sum(r.raw_states - r.min_states for r in atlas)
+    parts.append(
+        f"{len(atlas)} cells; {dropped} lowered states were behavioral "
+        "padding (merged by minimization).\n"
     )
 
     return "\n".join(parts)

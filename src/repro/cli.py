@@ -6,6 +6,7 @@ solve        run the Theorem 4.1 agent on a generated tree
 baseline     run the arbitrary-delay baseline under a chosen delay
 delays       decide every delay θ ≤ Θ in one batch-solver pass
 atlas        feasibility classification over all trees of a given size
+atlas-programs  the program memory atlas (lowered → minimized → γ → gaps)
 gap          print the headline exponential-gap table (E7)
 thm31        build + certify the Theorem 3.1 adversary for a walker family
 thm42        build + certify the Theorem 4.2 adversary
@@ -19,8 +20,9 @@ report       regenerate the experiment report as markdown
 experiments  run every experiment table (E1-E8) and print them
 scenarios    list / run / diff declarative scenarios (the registry)
 
-The experiment-shaped commands (``delays``, ``atlas``, ``gap``,
-``thm31``, ``thm42``, ``thm43``, ``verify``, ``experiments``) are
+The experiment-shaped commands (``delays``, ``atlas``,
+``atlas-programs``, ``gap``, ``thm31``, ``thm42``, ``thm43``,
+``verify``, ``experiments``) are
 aliases over the scenario registry (:mod:`repro.scenarios`): they build
 or fetch a :class:`~repro.scenarios.spec.ScenarioSpec` and execute it
 through the shared :class:`~repro.scenarios.runner.Runner`, so the CLI,
@@ -122,6 +124,21 @@ def _cmd_atlas(args: argparse.Namespace) -> int:
     result = _runner(args).run("atlas", params={"n": args.n})
     print(result.table())
     return 0
+
+
+def _cmd_atlas_programs(args: argparse.Namespace) -> int:
+    """The program memory atlas: one row per (library register program,
+    tree) — raw lowered states → minimized states → memory bits →
+    circuit structure → gap against the lower-bound floors."""
+    result = _runner(args).run("atlas-programs")
+    print(result.table())
+    s = result.summary
+    print(
+        f"\n{s['cells']} cells over {s['programs']} programs "
+        f"(routes {'/'.join(s['routes'])}): {s['shrunk']} minimized strictly, "
+        f"{s['states_dropped']} states dropped"
+    )
+    return 0 if result.ok else 1
 
 
 def _cmd_gap(args: argparse.Namespace) -> int:
@@ -485,6 +502,13 @@ def _parser() -> argparse.ArgumentParser:
     p = sub.add_parser("atlas", help="feasibility atlas over all n-node trees")
     p.add_argument("-n", type=int, default=7)
     p.set_defaults(fn=_cmd_atlas)
+
+    p = sub.add_parser(
+        "atlas-programs",
+        help="program memory atlas: minimized lowered automata + bound gaps",
+    )
+    _add_backend_option(p)
+    p.set_defaults(fn=_cmd_atlas_programs)
 
     p = sub.add_parser("gap", help="the headline gap table")
     p.add_argument("--subdivisions", default="0,1,3,7")

@@ -8,6 +8,7 @@ agent families through these builders to trace the paper's bound shapes
 """
 
 from .arbitrary_delay import Thm31Instance, build_thm31_instance, find_state_repetition
+from .common import arbitrary_delay_bound_bits, delay0_bound_bits
 from .infinite_line import InfiniteLineRun, LeaveEvent, simulate_infinite_line
 from .leaves import (
     BehaviorFunction,
@@ -32,4 +33,6 @@ __all__ = [
     "simulate_infinite_line",
     "InfiniteLineRun",
     "LeaveEvent",
+    "delay0_bound_bits",
+    "arbitrary_delay_bound_bits",
 ]

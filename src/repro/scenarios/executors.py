@@ -681,6 +681,49 @@ def _atlas(spec: ScenarioSpec, backend: Backend, rng: random.Random):
     return rows, {"ok": bool(rows), "trees": len(rows)}
 
 
+@executor("program_atlas", agents="lowerable")
+def _program_atlas(spec: ScenarioSpec, backend: Backend, rng: random.Random):
+    """The program memory atlas: library register programs lowered,
+    minimized, circuit-profiled, and paired with the lower-bound floors.
+
+    All analysis columns are deterministic; the one dynamics column per
+    row (a budgeted, uncertified probe) routes through the backend and
+    is covered by the verdict-parity contract, so the whole table must
+    be identical on the reference and compiled backends.
+    """
+    from ..analysis.program_atlas import DEFAULT_ATLAS_GRID, program_atlas_rows
+
+    grid = spec.param("programs", DEFAULT_ATLAS_GRID)
+    atlas = program_atlas_rows(
+        grid,
+        engine=backend.run,
+        seed=spec.seed,
+        state_budget=spec.param("state_budget", 4096),
+        step_budget=spec.param("step_budget", 1_000_000),
+        trace_budget=spec.param("trace_budget", 1_000_000),
+        max_rounds=spec.param("max_rounds", 20_000),
+    )
+    rows = [r.to_dict() for r in atlas]
+    shrunk = sum(r["min_states"] < r["raw_states"] for r in rows)
+    routes = {r["route"] for r in rows}
+    ok = (
+        bool(rows)
+        and all(r["route"] in ("A", "B") for r in rows)
+        and all(r["equiv"] for r in rows)
+        and all(r["min_states"] <= r["raw_states"] for r in rows)
+    )
+    return rows, {
+        "ok": ok,
+        "programs": len(dict(grid)),
+        "cells": len(rows),
+        "shrunk": shrunk,
+        "routes": sorted(routes),
+        "states_dropped": sum(
+            r["raw_states"] - r["min_states"] for r in rows
+        ),
+    }
+
+
 @executor("minimization", backend_sensitive=False)
 def _minimization(spec: ScenarioSpec, backend: Backend, rng: random.Random):
     """Honest-bits check: the victim families are (near) minimal."""

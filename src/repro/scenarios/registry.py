@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Iterator
 
+from ..analysis.program_atlas import DEFAULT_ATLAS_GRID
 from .spec import DelayPolicy, ScenarioError, ScenarioSpec
 
 __all__ = ["register", "get_scenario", "scenario_names", "all_scenarios"]
@@ -200,6 +201,25 @@ register(ScenarioSpec(
     name="minimization",
     kind="minimization",
     description="Honest-bits check: victim families are near minimal",
+))
+
+register(ScenarioSpec(
+    name="atlas-programs",
+    kind="program_atlas",
+    description="Program memory atlas: library register programs lowered, "
+                "minimized over the lowering alphabet, circuit-profiled "
+                "(γ/tails), and paired with the Ω(log log n)/Ω(log ℓ) "
+                "floors and Thm 3.1 defeating sizes",
+    params={
+        # the analysis layer's DEFAULT_ATLAS_GRID is the single source of
+        # truth: program spec -> tree grid; route-A programs repeat the
+        # {1,2} alphabet across lines on purpose (the lowering cache
+        # collapses the repeats), route-B programs use trees whose solo
+        # traces lasso in milliseconds.
+        "programs": {
+            name: list(trees) for name, trees in DEFAULT_ATLAS_GRID.items()
+        },
+    },
 ))
 
 register(ScenarioSpec(

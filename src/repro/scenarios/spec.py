@@ -81,10 +81,13 @@ def build_agent(spec: str, seed: int = 0):
     """Parse an agent spec: ``alternator``, ``counting:3``, ``pausing:2``,
     ``random:4`` (random line automaton), ``tree-random:3`` (random
     max-degree-3 tree automaton), ``baseline``, ``thm41`` /
-    ``thm41:MAX_OUTER`` (the register programs), ``prime``."""
+    ``thm41:MAX_OUTER`` (the register programs), ``prime`` /
+    ``prime:MAX_PRIMES`` (unbounded, or the paper's prime(i)),
+    ``counting-program:K`` / ``pausing-program:P`` (the walker zoo as
+    route-A-lowerable register programs)."""
     from ..agents import counting_walker, pausing_walker, random_tree_automaton
     from ..agents.automaton import random_line_automaton
-    from ..agents.library import alternator
+    from ..agents.library import alternator, counting_program, pausing_program
 
     kind, _, arg = spec.partition(":")
     if kind == "alternator":
@@ -93,6 +96,10 @@ def build_agent(spec: str, seed: int = 0):
         return counting_walker(int(arg))
     if kind == "pausing":
         return pausing_walker(int(arg))
+    if kind == "counting-program":
+        return counting_program(int(arg))
+    if kind == "pausing-program":
+        return pausing_program(int(arg))
     if kind == "random":
         return random_line_automaton(int(arg), random.Random(seed))
     if kind == "tree-random":
@@ -108,7 +115,7 @@ def build_agent(spec: str, seed: int = 0):
     if kind == "prime":
         from ..core import prime_line_agent
 
-        return prime_line_agent()
+        return prime_line_agent(max_primes=int(arg) if arg else None)
     raise ScenarioError(f"unknown agent spec {spec!r}")
 
 

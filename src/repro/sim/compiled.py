@@ -48,7 +48,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from ..agents.automaton import Automaton
-from ..agents.observations import NULL_PORT, STAY, AgentBase, resolve_action
+from ..agents.observations import STAY, AgentBase, resolve_action
 from ..agents.program import AgentProgram
 from ..errors import BudgetExceededError, SimulationError
 from ..trees.tree import Tree

@@ -75,6 +75,7 @@ __all__ = [
     "solo_trace",
     "ensure_lasso",
     "traced_automaton",
+    "lasso_automaton",
     "TracedAutomaton",
     "run_rendezvous_traced",
     "run_gathering_traced",
@@ -113,7 +114,7 @@ class SoloTrace:
         "_anchor_pos", "_anchor_ip", "_anchor_regs", "_anchor_key",
         "_anchor_round", "_brent_steps", "_brent_power",
         "_registry", "_last_dist", "_link", "_link_round",
-        "source", "_mapping",
+        "source", "_mapping", "_automaton",
     )
 
     def __init__(
@@ -156,6 +157,7 @@ class SoloTrace:
         self._last_dist = 0
         self._link: Optional[tuple] = None  # (source trace, round offset)
         self._link_round = 0
+        self._automaton: Optional["TracedAutomaton"] = None
 
     # -- recording ----------------------------------------------------------
     @property
@@ -453,6 +455,7 @@ class MirrorTrace(SoloTrace):
         self.status = ACTIVE
         self.cycle_start = None
         self.cycle_len = None
+        self._automaton = None
         self._sync()
 
     def _sync(self) -> None:
@@ -584,6 +587,11 @@ class TracedAutomaton(Automaton):
     action table the exact solvers consume.
     """
 
+    #: Traced transitions ignore the observation, so the automaton's
+    #: behavior is fully specified by a single placeholder observation —
+    #: the alphabet the minimization engine refines over.
+    alphabet = ((NULL_PORT, 1),)
+
     def __init__(self, trace: SoloTrace) -> None:
         m = trace.rounds_recorded
         if m == 0 or not trace.complete:
@@ -595,6 +603,7 @@ class TracedAutomaton(Automaton):
         nxt = [min(t + 1, m - 1) for t in range(m)]
         nxt[m - 1] = back
         self._next = nxt
+        self.back = back
         self.trace_start = trace.start
         self.trace_status = trace.status
         super().__init__(
@@ -604,6 +613,7 @@ class TracedAutomaton(Automaton):
     def clone(self) -> "TracedAutomaton":
         fresh = TracedAutomaton.__new__(TracedAutomaton)
         fresh._next = self._next
+        fresh.back = self.back
         fresh.trace_start = self.trace_start
         fresh.trace_status = self.trace_status
         fresh.num_states = self.num_states
@@ -624,6 +634,28 @@ class TracedAutomaton(Automaton):
 def traced_automaton(trace: SoloTrace) -> TracedAutomaton:
     """Roll a lassoed trace into its per-(tree, start) automaton."""
     return TracedAutomaton(trace)
+
+
+def lasso_automaton(
+    trace: SoloTrace, budget: int = DEFAULT_TRACE_BUDGET
+) -> TracedAutomaton:
+    """The (cached) exported lasso automaton of a trace.
+
+    Lassoes the trace if needed (raising
+    :class:`~repro.errors.BudgetExceededError` like :func:`ensure_lasso`)
+    and memoizes the rolled automaton on the trace object: the exact
+    sweeps and the program-memory atlas ask for the same automaton for
+    every sweep over the same (prototype, tree, start), and the roll
+    should be paid once per trace, not once per consumer.  Consumers
+    clone before running, so the shared instance is never mutated.
+    """
+    cached = trace._automaton
+    if cached is not None:
+        return cached
+    ensure_lasso(trace, budget)
+    automaton = TracedAutomaton(trace)
+    trace._automaton = automaton
+    return automaton
 
 
 # ----------------------------------------------------------------------
@@ -993,11 +1025,11 @@ def sweep_delays_traced(
             for side in sides_
             if theta > 0 or side == zero_side
         ]
-    a1 = traced_automaton(
-        ensure_lasso(solo_trace(tree, prototype, start1, cache=cache), trace_budget)
+    a1 = lasso_automaton(
+        solo_trace(tree, prototype, start1, cache=cache), trace_budget
     )
-    a2 = traced_automaton(
-        ensure_lasso(solo_trace(tree, prototype, start2, cache=cache), trace_budget)
+    a2 = lasso_automaton(
+        solo_trace(tree, prototype, start2, cache=cache), trace_budget
     )
     return solve_all_delays(
         tree, a1, start1, start2,
@@ -1020,9 +1052,7 @@ def sweep_gathering_traced(
     (cf. :func:`sweep_delays_traced`)."""
     starts = list(starts)
     automata = [
-        traced_automaton(
-            ensure_lasso(solo_trace(tree, prototype, s, cache=cache), trace_budget)
-        )
+        lasso_automaton(solo_trace(tree, prototype, s, cache=cache), trace_budget)
         for s in starts
     ]
     return solve_gathering(

@@ -68,7 +68,7 @@ def spider(leg_lengths: Sequence[int]) -> Tree:
 
     ``leg_lengths[i] >= 1`` is the number of edges of leg ``i``.
     """
-    if not leg_lengths or any(l < 1 for l in leg_lengths):
+    if not leg_lengths or any(length < 1 for length in leg_lengths):
         raise InvalidTreeError("spider needs legs of length >= 1")
     edges: list[tuple[int, int]] = []
     nxt = 1
@@ -317,7 +317,7 @@ def lobster(
     """
     if spine < 1 or len(arm_pattern) != spine or len(leg_pattern) != spine:
         raise InvalidTreeError("lobster patterns must match the spine length")
-    if any(a < 0 for a in arm_pattern) or any(l < 0 for l in leg_pattern):
+    if any(a < 0 for a in arm_pattern) or any(n < 0 for n in leg_pattern):
         raise InvalidTreeError("lobster patterns must be non-negative")
     edges = [(i, i + 1) for i in range(spine - 1)]
     nxt = spine

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.agents import STAY
 from repro.agents.dsl import compile_walker, parse_script, script_drift, script_period
 from repro.errors import AgentProtocolError
 from repro.lowerbounds import simulate_infinite_line

@@ -6,7 +6,6 @@ import pytest
 
 from repro.agents import AgentProgram, Ctx, NULL_PORT, STAY, move, stay
 from repro.agents.lowering import (
-    LoweredAutomaton,
     lower_to_automaton,
     machine_state_key,
 )

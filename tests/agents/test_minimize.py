@@ -1,15 +1,21 @@
-"""Tests for line-automaton minimization."""
+"""Tests for automaton minimization: line, general-alphabet, lasso families."""
 
 import random
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.agents import (
+    STAY,
     LineAutomaton,
     alternator,
     behaviorally_equivalent,
+    counting_program,
     counting_walker,
+    lower_to_automaton,
+    minimize_automaton,
+    minimize_lassos,
     minimize_line_automaton,
     random_line_automaton,
 )
@@ -115,3 +121,92 @@ class TestTreeAutomatonMinimization:
         a = Automaton(2, table, [0, 1])
         minimal, _ = minimize_tree_automaton(a)
         assert minimal == 2
+
+
+class TestGeneralAlphabetMinimization:
+    def test_needs_an_alphabet(self):
+        from repro.agents import Automaton
+
+        with pytest.raises(ValueError):
+            minimize_automaton(Automaton(1, {}, [0]))
+
+    def test_lowered_automaton_supplies_its_alphabet(self):
+        lowered = lower_to_automaton(counting_program(2), [1, 2])
+        res = minimize_automaton(lowered)
+        assert res.alphabet == tuple(sorted(lowered.alphabet))
+        # the program rendition minimizes to the hand-written walker's
+        # state count: the raw machine states differ only in dead
+        # context fields
+        assert res.minimal_states == counting_walker(2).num_states
+        assert res.minimal_states < res.original_states
+
+    def test_result_is_cached_on_the_automaton(self):
+        lowered = lower_to_automaton(counting_program(1), [1, 2])
+        assert minimize_automaton(lowered) is minimize_automaton(lowered)
+        assert minimize_automaton(lowered, cache=False) is not minimize_automaton(
+            lowered
+        )
+
+    def test_line_wrapper_agrees_with_general_engine(self):
+        rng = random.Random(3)
+        for _ in range(10):
+            a = random_line_automaton(rng.randrange(2, 9), rng)
+            general = minimize_automaton(a, [(0, 1), (0, 2)], cache=False)
+            line = minimize_line_automaton(a)
+            assert general.minimal_states == line.minimal_states
+
+
+class TestLassoFamilyMinimization:
+    def test_pure_cycle_reduces_to_minimal_period(self):
+        # 0 1 0 1 0 1 recorded as one 6-cycle: minimal period 2
+        fam = minimize_lassos([((0, 1, 0, 1, 0, 1), 0)])
+        assert fam.minimal_states == 2
+        assert fam.raw_states == 6
+
+    def test_rotated_cycles_share_classes(self):
+        # same loop entered at different phases: one shared cycle
+        fam = minimize_lassos([((0, 1, 2), 0), ((1, 2, 0), 0)])
+        assert fam.minimal_states == 3
+        assert fam.entries[0] != fam.entries[1]
+        # entry of the second chain is the first's successor
+        assert fam.successor[fam.entries[0]] == fam.entries[1]
+
+    def test_finished_tails_fold_into_absorbing_stay(self):
+        # move, move, then stay forever recorded as 4 explicit rounds
+        fam = minimize_lassos([((0, 1, STAY, STAY), 3)])
+        assert fam.minimal_states == 3  # 0 -> 1 -> stay
+
+    def test_shared_suffixes_merge_across_chains(self):
+        a = (0, 1, 0, 1, STAY)
+        b = (1, 1, 0, 1, STAY)  # differs only in round 1
+        fam = minimize_lassos([(a, 4), (b, 4)])
+        # distinct entries, shared suffix classes: the absorbing STAY,
+        # the common (1, 0, 1) tail, and the two distinct round-0 states
+        assert fam.entries[0] != fam.entries[1]
+        assert fam.successor[fam.entries[0]] == fam.successor[fam.entries[1]]
+        assert fam.minimal_states == 6
+        assert fam.raw_states == 10
+
+    def test_quotient_replays_every_chain(self):
+        rng = random.Random(11)
+        chains = []
+        for _ in range(6):
+            m = rng.randrange(3, 40)
+            actions = tuple(rng.randrange(-1, 3) for _ in range(m))
+            back = rng.randrange(m)
+            chains.append((actions, back))
+        fam = minimize_lassos(chains)
+        assert fam.minimal_states <= fam.raw_states
+        for (actions, back), entry in zip(chains, fam.entries):
+            cur = entry
+            # replay twice around the lasso: the quotient must reproduce
+            # the folded stream, not just the recorded prefix
+            m = len(actions)
+            for t in range(2 * m):
+                idx = t if t < m else back + (t - back) % (m - back)
+                assert fam.output[cur] == actions[idx]
+                cur = fam.successor[cur]
+
+    def test_rejects_bad_back_edge(self):
+        with pytest.raises(ValueError):
+            minimize_lassos([((0, 1), 2)])

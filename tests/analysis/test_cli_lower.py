@@ -1,0 +1,98 @@
+"""Coverage for the ``repro lower`` subcommand (shipped in PR 4 without a
+smoke test) and the ``repro atlas-programs`` table.
+
+``lower`` has four meaningfully different paths: a native automaton
+(nothing to lower), route-A success, the honest route-A refusals
+(LoweringError and budget trips — the command prints the reason and goes
+on to route B), and route-B budget trips (per-start "no lasso" lines).
+"""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestLowerRouteA:
+    def test_route_a_success_prints_state_counts(self, capsys):
+        rc = main(["lower", "counting-program:2", "--tree", "line:9"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "lowerable" in out
+        assert "route A (explicit automaton): K=41 states" in out
+        # route B also ran: every start lassos
+        assert "lowered 9/9 starts" in out
+
+    def test_route_a_budget_trip_degrades(self, capsys):
+        rc = main([
+            "lower", "counting-program:2", "--tree", "line:9",
+            "--state-budget", "3",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0  # route B still lowers every start
+        assert "route A (explicit automaton): not expressible" in out
+        assert "state_budget=3" in out
+
+    def test_lowering_error_path_for_explore_first_programs(self, capsys):
+        # thm41's machine state genuinely depends on the start degree:
+        # route A must refuse loudly and route B must carry the command.
+        rc = main(["lower", "thm41", "--tree", "star:4"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "not expressible" in out
+        assert "start-degree" in out
+        assert "lowered 5/5 starts" in out
+
+    def test_native_automaton_needs_no_lowering(self, capsys):
+        rc = main(["lower", "counting:2", "--tree", "line:9"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "already an explicit automaton" in out
+        assert "K=8" in out
+
+
+class TestLowerRouteB:
+    def test_trace_budget_trip_prints_no_lasso(self, capsys):
+        # the unbounded prime protocol never lassos: every start degrades
+        rc = main(["lower", "prime", "--tree", "line:5",
+                   "--trace-budget", "2000"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert out.count("no lasso within budget") == 5
+        assert "lowered 0/5 starts" in out
+
+    def test_bounded_prime_lassos(self, capsys):
+        rc = main(["lower", "prime:2", "--tree", "line:5"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "lowered 5/5 starts" in out
+        assert "finishes after" in out
+
+
+class TestLowerErrors:
+    def test_bad_agent_spec_is_one_clean_line(self):
+        with pytest.raises(SystemExit, match="bad agent spec"):
+            main(["lower", "counting", "--tree", "line:9"])
+
+    def test_unknown_agent_spec(self):
+        with pytest.raises(SystemExit, match="bad agent spec"):
+            main(["lower", "warp:3", "--tree", "line:9"])
+
+
+class TestAtlasProgramsCommand:
+    def test_table_and_summary(self, capsys):
+        rc = main(["atlas-programs"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "min_states" in out
+        assert "routes A/B" in out
+        # the Theorem 4.1 agent's row shrinks strictly
+        line = next(li for li in out.splitlines() if "thm41" in li and "star:4" in li)
+        assert " B " in line
+
+    def test_backend_parity(self, capsys):
+        tables = {}
+        for backend in ("reference", "compiled"):
+            rc = main(["atlas-programs", "--backend", backend])
+            assert rc == 0
+            tables[backend] = capsys.readouterr().out
+        assert tables["reference"] == tables["compiled"]

@@ -20,6 +20,7 @@ SMOKE_ARGV = {
     "delays": ["--tree", "line:3", "--agent", "random:2", "--seed", "4",
                "-u", "0", "-v", "1", "--max-delay", "3"],
     "atlas": ["-n", "4"],
+    "atlas-programs": [],
     "gap": ["--subdivisions", "0,1"],
     "thm31": ["--max-k", "1"],
     "thm42": ["--max-pause", "1"],

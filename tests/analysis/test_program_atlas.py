@@ -1,0 +1,117 @@
+"""Tests for the program memory atlas (lowering → minimization → bounds)."""
+
+import pytest
+
+from repro.agents import counting_program, counting_walker, lowered_for
+from repro.agents.lowering import _LOWERING_CACHE
+from repro.analysis.program_atlas import (
+    DEFAULT_ATLAS_GRID,
+    program_atlas_rows,
+)
+from repro.scenarios import Runner, get_scenario
+
+
+SMALL_GRID = {
+    "counting-program:2": ["line:9", "line:21"],
+    "thm41": ["star:4"],
+    "baseline": ["binary:2"],
+}
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return [r.to_dict() for r in program_atlas_rows(SMALL_GRID)]
+
+
+class TestAtlasRows:
+    def test_one_row_per_cell(self, rows):
+        assert [(r["program"], r["tree"]) for r in rows] == [
+            ("counting-program:2", "line:9"),
+            ("counting-program:2", "line:21"),
+            ("thm41", "star:4"),
+            ("baseline", "binary:2"),
+        ]
+
+    def test_minimized_never_exceeds_raw(self, rows):
+        for row in rows:
+            assert row["min_states"] <= row["raw_states"], row
+            assert row["bits_min"] <= row["bits_raw"], row
+
+    def test_thm41_shrinks_strictly(self, rows):
+        (thm41,) = [r for r in rows if r["program"] == "thm41"]
+        assert thm41["route"] == "B"
+        assert thm41["min_states"] < thm41["raw_states"]
+
+    def test_route_a_matches_the_handwritten_walker(self, rows):
+        row = rows[0]
+        assert row["route"] == "A"
+        assert row["min_states"] == counting_walker(2).num_states
+        # minimized machine is a genuine line automaton: the Thm 3.1
+        # adversary was built against it and certified
+        assert row["defeat_edges"] is not None
+
+    def test_every_quotient_verified(self, rows):
+        assert all(r["equiv"] for r in rows)
+
+    def test_gap_pairs_bits_with_the_floor(self, rows):
+        for row in rows:
+            assert row["lb_bits"] >= 1
+            assert row["gap"] == round(row["bits_min"] / row["lb_bits"], 2)
+
+    def test_default_grid_covers_the_program_library(self):
+        programs = {p.split(":")[0] for p in DEFAULT_ATLAS_GRID}
+        assert programs == {
+            "counting-program", "pausing-program", "thm41", "baseline", "prime",
+        }
+
+
+class TestAtlasCaching:
+    def test_lowering_cached_across_trees(self):
+        proto = counting_program(2)
+        a = lowered_for(proto, [1, 2])
+        b = lowered_for(proto, [2, 1])  # same alphabet, different order
+        assert a is b
+        assert proto in _LOWERING_CACHE
+
+    def test_refusals_are_cached(self):
+        from repro.errors import LoweringError
+        from repro.scenarios.spec import build_agent
+
+        proto = build_agent("thm41", 0)
+        with pytest.raises(LoweringError):
+            lowered_for(proto, [1, 2])
+        cached = _LOWERING_CACHE[proto]
+        (entry,) = cached.values()
+        assert isinstance(entry, LoweringError)
+        with pytest.raises(LoweringError):
+            lowered_for(proto, [1, 2])
+
+
+class TestAtlasScenario:
+    def test_backend_parity_and_ok(self):
+        reference = Runner(backend="reference").run(
+            "atlas-programs", params={"programs": SMALL_GRID}
+        )
+        compiled = Runner(backend="compiled").run(
+            "atlas-programs", params={"programs": SMALL_GRID}
+        )
+        assert reference.ok and compiled.ok
+        assert reference.rows == compiled.rows
+
+    def test_budget_trip_degrades_to_honest_row(self):
+        result = Runner().run(
+            "atlas-programs",
+            params={
+                "programs": {"prime": ["line:5"]},  # unbounded: never lassos
+                "trace_budget": 2_000,
+            },
+        )
+        (row,) = result.rows
+        assert row["route"] == "budget"
+        assert not result.ok
+
+    def test_registry_entry_is_the_default_grid(self):
+        spec = get_scenario("atlas-programs")
+        assert {k: tuple(v) for k, v in spec.param("programs").items()} == (
+            DEFAULT_ATLAS_GRID
+        )

@@ -16,7 +16,6 @@ from repro.errors import SimulationError
 from repro.trees import (
     Tree,
     all_trees,
-    basic_walk_first_hit,
     canonical_form,
     complete_binary_tree,
     contract,

@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.core import solve
 from repro.trees import (

@@ -1,6 +1,6 @@
 """Tests for the infinite-line simulation layer."""
 
-from repro.agents import STAY, Automaton, LineAutomaton, alternator, pausing_walker
+from repro.agents import STAY, LineAutomaton, alternator, pausing_walker
 from repro.lowerbounds import simulate_infinite_line
 
 

@@ -15,12 +15,9 @@ from repro.sim import (
     run_rendezvous,
 )
 from repro.trees import (
-    all_trees,
-    complete_binary_tree,
     count_labelings,
     edge_colored_line,
     line,
-    perfectly_symmetrizable,
     star,
 )
 
@@ -115,8 +112,6 @@ class TestParityLemma:
         dist = abs(u - v)  # initial distance (edge-colored line is a path)
         pos = trace.positions()
         for k in range(1, len(pos)):
-            moved1 = pos[k][0] != pos[k - 1][0] or trace.records[k - 1].moved1
-            moved2 = pos[k][1] != pos[k - 1][1] or trace.records[k - 1].moved2
             q1 = 1 - int(trace.records[k - 1].moved1)
             q2 = 1 - int(trace.records[k - 1].moved2)
             new_dist = abs(pos[k][0] - pos[k][1])

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.agents import STAY, Automaton, LineAutomaton, alternator
+from repro.agents import STAY, Automaton, alternator
 from repro.errors import SimulationError
 from repro.sim import run_rendezvous
 from repro.trees import edge_colored_line, line, star

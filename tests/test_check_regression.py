@@ -1,0 +1,98 @@
+"""The bench regression gate must trip on slowdowns and pass the baseline.
+
+Runs ``benchmarks/check_regression.py`` the way the Makefile / CI job
+does (as a subprocess), against the *committed* ``BENCH_engine.json``:
+self-comparison passes, and a baseline whose timings are scaled down 3x
+(equivalently: a current file 3x slower) fails with exit code 1.
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+SCRIPT = REPO_ROOT / "benchmarks" / "check_regression.py"
+BENCH = REPO_ROOT / "BENCH_engine.json"
+
+
+def run_gate(baseline: pathlib.Path, current: pathlib.Path, *extra: str):
+    return subprocess.run(
+        [sys.executable, str(SCRIPT),
+         "--baseline", str(baseline), "--current", str(current), *extra],
+        capture_output=True, text=True,
+    )
+
+
+def scaled_copy(tmp_path: pathlib.Path, factor: float) -> pathlib.Path:
+    def scale(node):
+        if isinstance(node, dict):
+            return {
+                k: (
+                    v * factor
+                    if str(k).endswith("_seconds")
+                    and isinstance(v, (int, float))
+                    and not isinstance(v, bool)
+                    else scale(v)
+                )
+                for k, v in node.items()
+            }
+        if isinstance(node, list):
+            return [scale(v) for v in node]
+        return node
+
+    path = tmp_path / f"bench-x{factor}.json"
+    path.write_text(json.dumps(scale(json.loads(BENCH.read_text()))))
+    return path
+
+
+class TestRegressionGate:
+    def test_committed_baseline_passes_against_itself(self):
+        proc = run_gate(BENCH, BENCH)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "within tolerance" in proc.stdout
+
+    def test_injected_3x_slowdown_fails(self, tmp_path):
+        baseline = scaled_copy(tmp_path, 1 / 3)
+        proc = run_gate(baseline, BENCH)
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+        assert "regressed" in proc.stdout
+        # the headline best-of timings are among the tripped paths
+        assert "_seconds" in proc.stdout
+
+    def test_speedup_never_trips(self, tmp_path):
+        baseline = scaled_copy(tmp_path, 3.0)
+        proc = run_gate(baseline, BENCH)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_micro_timings_ride_the_floor(self, tmp_path):
+        # a 3x blip on a sub-floor micro-timing alone must not fail
+        payload = {"bench": "x", "solver": {"best_seconds": 0.002}}
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(payload))
+        cur = tmp_path / "cur.json"
+        cur.write_text(json.dumps({"bench": "x", "solver": {"best_seconds": 0.006}}))
+        proc = run_gate(base, cur)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_structural_drift_is_reported_not_fatal(self, tmp_path):
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps({"a": {"x_seconds": 1.0}}))
+        cur = tmp_path / "cur.json"
+        cur.write_text(json.dumps({"b": {"x_seconds": 1.0}}))
+        proc = run_gate(base, cur)
+        assert proc.returncode == 0
+        assert "only in baseline" in proc.stdout
+        assert "only in current" in proc.stdout
+
+    def test_unreadable_input_is_a_usage_error(self, tmp_path):
+        proc = run_gate(tmp_path / "ghost.json", BENCH)
+        assert proc.returncode == 2
+
+    @pytest.mark.parametrize("tolerance,expect", [(10.0, 0), (1.01, 1)])
+    def test_tolerance_knob(self, tmp_path, tolerance, expect):
+        baseline = scaled_copy(tmp_path, 0.5)  # current looks 2x slower
+        proc = run_gate(baseline, BENCH, "--tolerance", str(tolerance))
+        assert proc.returncode == expect, proc.stdout + proc.stderr

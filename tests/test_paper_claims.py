@@ -20,7 +20,6 @@ from repro.core.rendezvous_path import RendezvousPathNavigator
 from repro.sim import run_solo
 from repro.trees import (
     canonical_form,
-    complete_binary_tree,
     contract,
     line,
     random_relabel,

@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.trees import (
     all_trees,

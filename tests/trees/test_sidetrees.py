@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ConstructionError
-from repro.trees import canonical_form, find_center, perfectly_symmetrizable
+from repro.trees import find_center, perfectly_symmetrizable
 from repro.trees.sidetrees import (
     all_side_trees,
     num_side_trees,
@@ -104,7 +104,6 @@ class TestTwoSidedTrees:
             two_sided_tree(sides[0], sides[1], 0)
 
     def test_varying_m(self):
-        sides = all_side_trees(4, root_port_up=root_edge_color(8))
         for m in (2, 4, 6, 8):
             sides_m = all_side_trees(4, root_port_up=root_edge_color(m))
             ts = two_sided_tree(sides_m[0], sides_m[3], m)
