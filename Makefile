@@ -1,10 +1,13 @@
 PY := PYTHONPATH=src python
 BENCH_BASELINE := /tmp/BENCH_engine.baseline.json
 GOLDEN_TMP := /tmp/repro-golden-check
-GOLDEN_SCENARIOS := verify-small gathering-line-k3 thm31-sweep atlas-programs
+GOLDEN_SCENARIOS := verify-small gathering-line-k3 thm31-sweep atlas-programs \
+        rendezvous-relabel-line gathering-crash-k3
+FAULT_TMP := /tmp/repro-fault-smoke
+FAULT_SCENARIOS := rendezvous-relabel-line gathering-crash-k3
 
 .PHONY: test lint bench-smoke bench-engine scenarios-smoke bench-scenarios \
-        check-regression golden-diff
+        check-regression golden-diff fault-smoke
 
 test:
 	$(PY) -m pytest -x -q
@@ -44,6 +47,22 @@ golden-diff:
 	    $(PY) -m repro scenarios diff $(GOLDEN_TMP)/$$name.json \
 	        benchmarks/results/golden/$$name.json || exit 1; \
 	done
+
+# Fault-model smoke: run every fault-injected scenario on the reference
+# AND compiled backends, require identical verdict rows (the faulted
+# parity contract), then exercise the supervised-pool suite.
+fault-smoke:
+	mkdir -p $(FAULT_TMP)/reference $(FAULT_TMP)/compiled
+	@for name in $(FAULT_SCENARIOS); do \
+	    echo "== $$name"; \
+	    $(PY) -m repro scenarios run $$name --backend reference \
+	        --save --out $(FAULT_TMP)/reference > /dev/null || exit 1; \
+	    $(PY) -m repro scenarios run $$name --backend compiled \
+	        --save --out $(FAULT_TMP)/compiled > /dev/null || exit 1; \
+	    $(PY) -m repro scenarios diff $(FAULT_TMP)/reference/$$name.json \
+	        $(FAULT_TMP)/compiled/$$name.json || exit 1; \
+	done
+	$(PY) -m pytest tests/sim/test_faults.py tests/sim/test_supervised.py -q
 
 # Quick pass over the scenario registry (the experiment tables, small grids).
 scenarios-smoke:

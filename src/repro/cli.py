@@ -92,6 +92,16 @@ def _cmd_baseline(args: argparse.Namespace) -> int:
     return 0 if result.met else 2
 
 
+def _fault_params(specs) -> dict:
+    """``--fault`` occurrences -> a ``faults`` param (JSON form), or {}."""
+    if not specs:
+        return {}
+    from .sim.faults import FaultPlan
+
+    plan = FaultPlan.parse_many(specs)
+    return {"faults": plan.to_json()} if plan else {}
+
+
 def _cmd_delays(args: argparse.Namespace) -> int:
     from .scenarios import DelayPolicy, ScenarioSpec
 
@@ -103,7 +113,7 @@ def _cmd_delays(args: argparse.Namespace) -> int:
         pairs=((args.u, args.v),),
         delays=DelayPolicy.sweep(args.max_delay),
         seed=args.seed,
-        params={"relabel": args.relabel},
+        params={"relabel": args.relabel, **_fault_params(args.fault)},
     )
     result = _runner(args).run(spec)
     met = result.summary["met"]
@@ -213,7 +223,10 @@ def _cmd_gather_sweep(args: argparse.Namespace) -> int:
         tree=args.tree,
         agent=args.agent,
         seed=args.seed,
-        params={"start_sets": start_sets, "delay_vectors": delay_vectors},
+        params={
+            "start_sets": start_sets, "delay_vectors": delay_vectors,
+            **_fault_params(args.fault),
+        },
     )
     result = _runner(args).run(spec)
     print(result.table())
@@ -456,6 +469,18 @@ def _add_backend_option(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_fault_option(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--fault",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help="inject a fault (repeatable): crash:AGENT@ROUND, "
+             "pause:AGENT@ROUND:DURATION, relabel@ROUND:SEED "
+             "(agents are 0-based)",
+    )
+
+
 def _parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -494,6 +519,7 @@ def _parser() -> argparse.ArgumentParser:
     p.add_argument("--max-delay", type=int, default=16, dest="max_delay")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--relabel", action="store_true")
+    _add_fault_option(p)
     _add_backend_option(p)
     p.set_defaults(fn=_cmd_delays)
 
@@ -560,6 +586,7 @@ def _parser() -> argparse.ArgumentParser:
                    help="alternator | counting:K | pausing:P | tree-random:K")
     p.add_argument("--starts", default="0,1,3;0,2,4",
                    help="';'-separated start sets, e.g. 0,1,3;0,2,4")
+    _add_fault_option(p)
     p.add_argument("--delays", default="0,0,0;0,1,2",
                    help="';'-separated per-agent delay vectors")
     p.add_argument("--seed", type=int, default=0)

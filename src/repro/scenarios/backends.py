@@ -56,6 +56,7 @@ import abc
 import random
 from typing import Optional, Sequence
 
+from ..agents.lowering import lower_to_automaton
 from ..agents.observations import AgentBase
 from ..errors import BudgetExceededError, LoweringError
 from ..sim.batch import BatchJob, GatheringJob, run_batch, run_gathering_batch
@@ -73,6 +74,11 @@ from ..sim.multi import (
     run_gathering,
     run_gathering_compiled,
     run_gathering_reference,
+)
+from ..sim.supervise import (
+    JobFailure,
+    run_batch_supervised,
+    run_gathering_batch_supervised,
 )
 from ..sim.traced import (
     run_gathering_traced,
@@ -176,6 +182,7 @@ class Backend(abc.ABC):
         max_delay: int,
         sides: Sequence[int] = (1, 2),
         max_rounds: Optional[int] = None,
+        faults=None,
     ) -> list[DelayVerdict]:
         """Decide every (θ ≤ max_delay, delayed side) adversary choice.
 
@@ -184,10 +191,13 @@ class Backend(abc.ABC):
         ``max_rounds=None`` lets the backend pick its own budget; an
         explicit value bounds the work on every backend (per-run rounds
         here, configuration exploration in the exact solver — see the
-        module docstring).
+        module docstring).  ``faults`` (an optional
+        :class:`~repro.sim.faults.FaultPlan`) applies the same fault
+        schedule to every adversary choice.
         """
         budget = _SWEEP_BUDGET if max_rounds is None else max_rounds
         zero_side = 2 if 2 in sides else sides[0]
+        extra = {} if faults is None else {"faults": faults}
         verdicts = []
         for theta in range(max_delay + 1):
             for side in sides:
@@ -202,10 +212,12 @@ class Backend(abc.ABC):
                     delayed=side,
                     max_rounds=budget,
                     certify=True,
+                    **extra,
                 )
                 verdicts.append(
                     DelayVerdict(
-                        theta, side, out.met, out.meeting_round, out.certified_never
+                        theta, side, out.met, out.meeting_round,
+                        out.certified_never, bool(out.crashed),
                     )
                 )
         return verdicts
@@ -218,6 +230,7 @@ class Backend(abc.ABC):
         delay_vectors: Sequence[Sequence[int]],
         *,
         max_rounds: Optional[int] = None,
+        faults=None,
     ) -> list[GatheringVerdict]:
         """Decide every per-agent delay vector of a gathering grid.
 
@@ -229,25 +242,43 @@ class Backend(abc.ABC):
         budgeted per-run backend can exhaust ``max_rounds`` without a
         certificate — those verdicts come back with neither flag set and
         callers must report them as undecided, never as proof.
+        ``faults`` applies the same fault schedule to every vector.
         """
         budget = _SWEEP_BUDGET if max_rounds is None else max_rounds
         jobs = [
             GatheringJob(
                 tree, prototype, tuple(starts), tuple(vec),
-                max_rounds=budget, certify=True,
+                max_rounds=budget, certify=True, faults=faults,
             )
             for vec in delay_vectors
         ]
         return [
             GatheringVerdict(
-                tuple(vec), out.gathered, out.gathering_round, out.certified_never
+                tuple(vec), out.gathered, out.gathering_round,
+                out.certified_never, bool(out.crashed),
             )
             for vec, out in zip(delay_vectors, self.run_gathering_many(jobs))
         ]
 
 
+def _lowered_for_faults(prototype: AgentBase, tree: Tree):
+    """Lower a register program to an explicit automaton for faulted
+    exact sweeps.
+
+    Traced lowering is *invalid* under faults: a solo trace bakes in the
+    agent's autonomous trajectory, which pauses and relabelings divert.
+    Full behavioral lowering over the tree's degree alphabet stays valid
+    — crash/pause faults freeze the machine in a state it can resume
+    from, and relabelings preserve every node degree — so faulted sweeps
+    of lowerable agents ride the explicit-automaton solver instead.
+    """
+    degrees = {tree.degree(v) for v in range(tree.n)}
+    return lower_to_automaton(prototype, degrees)
+
+
 def _sweep_delays_exact(
-    backend: Backend, tree, prototype, start1, start2, max_delay, sides, max_rounds
+    backend: Backend, tree, prototype, start1, start2, max_delay, sides,
+    max_rounds, faults=None,
 ) -> list[DelayVerdict]:
     """Exact delay sweep with graceful budgeting.
 
@@ -263,67 +294,83 @@ def _sweep_delays_exact(
     the same solver.  A trace that cannot lasso within budget — or
     machine state the lowering cannot capture — degrades the same way,
     with undecided notes where nothing is provable, never a crash.
+    Under ``faults`` traced lowering is unsound (see
+    :func:`_lowered_for_faults`), so lowerable agents go through full
+    behavioral lowering instead, with the same graceful degradation.
     """
+    degrade = lambda: Backend.sweep_delays(  # noqa: E731 - one fallback, four exits
+        backend, tree, prototype, start1, start2,
+        max_delay=max_delay, sides=sides, max_rounds=max_rounds, faults=faults,
+    )
+    solver_proto = prototype
     if supports_compilation(prototype) == "lowerable":
+        if not faults:
+            try:
+                kwargs = {} if max_rounds is None else dict(
+                    trace_budget=max_rounds, max_configs=max_rounds
+                )
+                return sweep_delays_traced(
+                    tree, prototype, start1, start2,
+                    max_delay=max_delay, sides=tuple(sides), **kwargs,
+                )
+            except (BudgetExceededError, LoweringError):
+                return degrade()
         try:
-            kwargs = {} if max_rounds is None else dict(
-                trace_budget=max_rounds, max_configs=max_rounds
-            )
-            return sweep_delays_traced(
-                tree, prototype, start1, start2,
-                max_delay=max_delay, sides=tuple(sides), **kwargs,
-            )
+            solver_proto = _lowered_for_faults(prototype, tree)
         except (BudgetExceededError, LoweringError):
-            return Backend.sweep_delays(
-                backend, tree, prototype, start1, start2,
-                max_delay=max_delay, sides=sides, max_rounds=max_rounds,
-            )
+            return degrade()
+    extra = {} if faults is None else {"faults": faults}
     if max_rounds is None:
         return solve_all_delays(
-            tree, prototype, start1, start2,
-            max_delay=max_delay, delayed_sides=tuple(sides),
+            tree, solver_proto, start1, start2,
+            max_delay=max_delay, delayed_sides=tuple(sides), **extra,
         )
     try:
         return solve_all_delays(
-            tree, prototype, start1, start2,
+            tree, solver_proto, start1, start2,
             max_delay=max_delay, delayed_sides=tuple(sides),
-            max_configs=max_rounds,
+            max_configs=max_rounds, **extra,
         )
     except BudgetExceededError:
-        return Backend.sweep_delays(
-            backend, tree, prototype, start1, start2,
-            max_delay=max_delay, sides=sides, max_rounds=max_rounds,
-        )
+        return degrade()
 
 
 def _sweep_gathering_exact(
-    backend: Backend, tree, prototype, starts, delay_vectors, max_rounds
+    backend: Backend, tree, prototype, starts, delay_vectors, max_rounds,
+    faults=None,
 ) -> list[GatheringVerdict]:
     """Exact gathering sweep with graceful budgeting (see
     :func:`_sweep_delays_exact`)."""
+    degrade = lambda: Backend.sweep_gathering(  # noqa: E731
+        backend, tree, prototype, starts, delay_vectors,
+        max_rounds=max_rounds, faults=faults,
+    )
+    solver_proto = prototype
     if supports_compilation(prototype) == "lowerable":
+        if not faults:
+            try:
+                kwargs = {} if max_rounds is None else dict(
+                    trace_budget=max_rounds, max_configs=max_rounds
+                )
+                return sweep_gathering_traced(
+                    tree, prototype, starts, delay_vectors, **kwargs
+                )
+            except (BudgetExceededError, LoweringError):
+                return degrade()
         try:
-            kwargs = {} if max_rounds is None else dict(
-                trace_budget=max_rounds, max_configs=max_rounds
-            )
-            return sweep_gathering_traced(
-                tree, prototype, starts, delay_vectors, **kwargs
-            )
+            solver_proto = _lowered_for_faults(prototype, tree)
         except (BudgetExceededError, LoweringError):
-            return Backend.sweep_gathering(
-                backend, tree, prototype, starts, delay_vectors,
-                max_rounds=max_rounds,
-            )
+            return degrade()
+    extra = {} if faults is None else {"faults": faults}
     if max_rounds is None:
-        return solve_gathering(tree, prototype, starts, delay_vectors)
+        return solve_gathering(tree, solver_proto, starts, delay_vectors, **extra)
     try:
         return solve_gathering(
-            tree, prototype, starts, delay_vectors, max_configs=max_rounds
+            tree, solver_proto, starts, delay_vectors,
+            max_configs=max_rounds, **extra,
         )
     except BudgetExceededError:
-        return Backend.sweep_gathering(
-            backend, tree, prototype, starts, delay_vectors, max_rounds=max_rounds
-        )
+        return degrade()
 
 
 class ReferenceBackend(Backend):
@@ -345,33 +392,49 @@ class CompiledBackend(Backend):
 
     Lowered outcomes carry fresh (unexecuted) agent clones — executed
     register accounts belong to the reference engine / solo replays.
+
+    Faulted runs of lowerable agents cannot use traced replay (the solo
+    trace assumes autonomous dynamics); they go through full behavioral
+    lowering (:func:`_lowered_for_faults`) onto the compiled faulted
+    engine.  If that lowering fails, forcing ``compiled`` raises — the
+    honest answer, as with unloweable agents.
     """
 
     name = "compiled"
 
     def run(self, tree, prototype, start1, start2, **kwargs) -> RendezvousOutcome:
         if supports_compilation(prototype) == "lowerable":
+            if kwargs.get("faults"):
+                lowered = _lowered_for_faults(prototype, tree)
+                return run_rendezvous_compiled(tree, lowered, start1, start2, **kwargs)
+            kwargs.pop("faults", None)
             return run_rendezvous_traced(tree, prototype, start1, start2, **kwargs)
         return run_rendezvous_compiled(tree, prototype, start1, start2, **kwargs)
 
     def run_gathering(self, tree, prototype, starts, **kwargs) -> GatheringOutcome:
         if supports_compilation(prototype) == "lowerable":
+            if kwargs.get("faults"):
+                lowered = _lowered_for_faults(prototype, tree)
+                return run_gathering_compiled(tree, lowered, starts, **kwargs)
+            kwargs.pop("faults", None)
             return run_gathering_traced(tree, prototype, starts, **kwargs)
         return run_gathering_compiled(tree, prototype, starts, **kwargs)
 
     def sweep_delays(
         self, tree, prototype, start1, start2, *, max_delay,
-        sides=(1, 2), max_rounds=None,
+        sides=(1, 2), max_rounds=None, faults=None,
     ) -> list[DelayVerdict]:
         return _sweep_delays_exact(
-            self, tree, prototype, start1, start2, max_delay, sides, max_rounds
+            self, tree, prototype, start1, start2, max_delay, sides,
+            max_rounds, faults,
         )
 
     def sweep_gathering(
         self, tree, prototype, starts, delay_vectors, *, max_rounds=None,
+        faults=None,
     ) -> list[GatheringVerdict]:
         return _sweep_gathering_exact(
-            self, tree, prototype, starts, delay_vectors, max_rounds
+            self, tree, prototype, starts, delay_vectors, max_rounds, faults
         )
 
 
@@ -393,43 +456,90 @@ class AutoBackend(Backend):
 
     def sweep_delays(
         self, tree, prototype, start1, start2, *, max_delay,
-        sides=(1, 2), max_rounds=None,
+        sides=(1, 2), max_rounds=None, faults=None,
     ) -> list[DelayVerdict]:
         if supports_compilation(prototype):
             return _sweep_delays_exact(
-                self, tree, prototype, start1, start2, max_delay, sides, max_rounds
+                self, tree, prototype, start1, start2, max_delay, sides,
+                max_rounds, faults,
             )
         return super().sweep_delays(
             tree, prototype, start1, start2,
             max_delay=max_delay, sides=sides, max_rounds=max_rounds,
+            faults=faults,
         )
 
     def sweep_gathering(
         self, tree, prototype, starts, delay_vectors, *, max_rounds=None,
+        faults=None,
     ) -> list[GatheringVerdict]:
         if supports_compilation(prototype):
             return _sweep_gathering_exact(
-                self, tree, prototype, starts, delay_vectors, max_rounds
+                self, tree, prototype, starts, delay_vectors, max_rounds, faults
             )
         return super().sweep_gathering(
             tree, prototype, starts, delay_vectors, max_rounds=max_rounds,
+            faults=faults,
         )
 
 
 class BatchedBackend(AutoBackend):
-    """Auto dispatch per run, multiprocess fan-out for independent grids."""
+    """Auto dispatch per run, multiprocess fan-out for independent grids.
+
+    With ``timeout=`` and/or ``checkpoint=`` set, grids run under the
+    supervised pool (:mod:`repro.sim.supervise`): per-job wall-clock
+    preemption, ``retries`` bounded retries with backoff, dead-worker
+    respawn, and checkpointed resume.  A job that still fails after its
+    retries raises :class:`~repro.scenarios.spec.ScenarioError` naming
+    every failed slot — a grid result must never silently hold holes.
+    """
 
     name = "batched"
 
-    def __init__(self, processes: Optional[int] = None):
+    def __init__(
+        self,
+        processes: Optional[int] = None,
+        *,
+        timeout: Optional[float] = None,
+        retries: int = 1,
+        checkpoint=None,
+    ):
         self.processes = processes
+        self.timeout = timeout
+        self.retries = retries
+        self.checkpoint = checkpoint
+
+    @property
+    def _supervised(self) -> bool:
+        return self.timeout is not None or self.checkpoint is not None
+
+    @staticmethod
+    def _settled(results):
+        failures = [r for r in results if isinstance(r, JobFailure)]
+        if failures:
+            detail = "; ".join(
+                f"job {f.index}: {f.kind} after {f.attempts} attempt(s) ({f.message})"
+                for f in failures
+            )
+            raise ScenarioError(f"{len(failures)} batch job(s) failed: {detail}")
+        return results
 
     def run_many(self, jobs: Sequence[BatchJob]) -> list[RendezvousOutcome]:
+        if self._supervised:
+            return self._settled(run_batch_supervised(
+                jobs, processes=self.processes, timeout=self.timeout,
+                retries=self.retries, checkpoint=self.checkpoint,
+            ))
         return run_batch(jobs, processes=self.processes)
 
     def run_gathering_many(
         self, jobs: Sequence[GatheringJob]
     ) -> list[GatheringOutcome]:
+        if self._supervised:
+            return self._settled(run_gathering_batch_supervised(
+                jobs, processes=self.processes, timeout=self.timeout,
+                retries=self.retries, checkpoint=self.checkpoint,
+            ))
         return run_gathering_batch(jobs, processes=self.processes)
 
 

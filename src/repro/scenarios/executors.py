@@ -106,6 +106,36 @@ def execute(spec: ScenarioSpec, backend: Backend, rng: random.Random):
 # Rendezvous sweeps
 # ----------------------------------------------------------------------
 
+def _spec_faults(spec: ScenarioSpec):
+    """The spec's fault plan (``faults`` param, JSON form or spec strings),
+    or ``None`` — sweeps without the param stay byte-identical to the
+    fault-free rows they always produced."""
+    from ..sim.faults import FaultPlan
+
+    return FaultPlan.coerce(spec.param("faults"))
+
+
+def _sweep_summary(rows) -> dict:
+    """Shared sweep aggregates.  ``certified-never-crash`` rows count as
+    certified (the non-meeting is proved; the crash is attribution), and
+    a ``crashed`` counter appears only when the scenario injected faults,
+    keeping fault-free summaries unchanged."""
+    met = sum(r["verdict"] == "met" for r in rows)
+    undecided = sum(r["verdict"] == "undecided" for r in rows)
+    crashed = sum(r["verdict"] == "certified-never-crash" for r in rows)
+    summary = {
+        "ok": undecided == 0,  # every adversary choice was decided
+        "choices": len(rows),
+        "met": met,
+        "certified_never": len(rows) - met - undecided,
+        "undecided": undecided,
+        "all_met": met == len(rows),
+    }
+    if crashed:
+        summary["crashed"] = crashed
+    return summary
+
+
 @executor("delay_sweep")
 def _delay_sweep(spec: ScenarioSpec, backend: Backend, rng: random.Random):
     """Decide every (delay, delayed) adversary choice for each start pair."""
@@ -118,6 +148,7 @@ def _delay_sweep(spec: ScenarioSpec, backend: Backend, rng: random.Random):
     # params may override the policy knob (CLI: --set max_delay=64)
     max_delay = spec.param("max_delay", spec.delays.max_delay)
     max_rounds = spec.param("max_rounds")  # None -> backend's own budget
+    faults = _spec_faults(spec)
     agent = build_agent(spec.agent, spec.seed)
     rows = []
     for rep in range(spec.repetitions):
@@ -127,16 +158,24 @@ def _delay_sweep(spec: ScenarioSpec, backend: Backend, rng: random.Random):
                 tree, random.Random(derive_seed(spec.seed, "relabel", rep))
             )
         for u, v in spec.pairs:
+            # Pass faults only when set: fault-free sweeps keep working
+            # against duck-typed backends that predate the kwarg.
+            extra = {} if faults is None else {"faults": faults}
             verdicts = backend.sweep_delays(
                 tree, agent, u, v,
                 max_delay=max_delay, sides=spec.delays.sides,
-                max_rounds=max_rounds,
+                max_rounds=max_rounds, **extra,
             )
             for dv in verdicts:
                 if dv.met:
                     verdict = "met"
                 elif dv.certified_never:
-                    verdict = "certified-never"
+                    # distinguish "never meets because a crash fault
+                    # removed an agent" from an intrinsic non-meeting
+                    verdict = (
+                        "certified-never-crash" if dv.crashed
+                        else "certified-never"
+                    )
                 else:
                     # a budgeted per-run backend can exhaust max_rounds
                     # without a certificate; never report that as proof
@@ -151,16 +190,7 @@ def _delay_sweep(spec: ScenarioSpec, backend: Backend, rng: random.Random):
                 if spec.repetitions > 1:
                     row = {"rep": rep, **row}
                 rows.append(row)
-    met = sum(r["verdict"] == "met" for r in rows)
-    undecided = sum(r["verdict"] == "undecided" for r in rows)
-    return rows, {
-        "ok": undecided == 0,  # every adversary choice was decided
-        "choices": len(rows),
-        "met": met,
-        "certified_never": len(rows) - met - undecided,
-        "undecided": undecided,
-        "all_met": met == len(rows),
-    }
+    return rows, _sweep_summary(rows)
 
 
 @executor("gathering_sweep")
@@ -190,18 +220,24 @@ def _gathering_sweep(spec: ScenarioSpec, backend: Backend, rng: random.Random):
         )
     agent = build_agent(spec.agent, spec.seed)
     max_rounds = spec.param("max_rounds")  # None -> backend's own budget
+    faults = _spec_faults(spec)
     rows = []
     for tree_spec in tree_specs:
         tree = build_tree(tree_spec, spec.seed)
         for starts in start_sets:
+            extra = {} if faults is None else {"faults": faults}
             verdicts = backend.sweep_gathering(
-                tree, agent, starts, delay_vectors, max_rounds=max_rounds
+                tree, agent, starts, delay_vectors,
+                max_rounds=max_rounds, **extra,
             )
             for vec, gv in zip(delay_vectors, verdicts):
                 if gv.gathered:
                     verdict = "met"
                 elif gv.certified_never:
-                    verdict = "certified-never"
+                    verdict = (
+                        "certified-never-crash" if gv.crashed
+                        else "certified-never"
+                    )
                 else:
                     # a budgeted per-run backend can exhaust max_rounds
                     # without a certificate; never report that as proof
@@ -215,16 +251,7 @@ def _gathering_sweep(spec: ScenarioSpec, backend: Backend, rng: random.Random):
                         "round": gv.gathering_round if gv.gathered else None,
                     }
                 )
-    met = sum(r["verdict"] == "met" for r in rows)
-    undecided = sum(r["verdict"] == "undecided" for r in rows)
-    return rows, {
-        "ok": undecided == 0,  # every adversary choice was decided
-        "choices": len(rows),
-        "met": met,
-        "certified_never": len(rows) - met - undecided,
-        "undecided": undecided,
-        "all_met": met == len(rows),
-    }
+    return rows, _sweep_summary(rows)
 
 
 @executor("baseline_delays")

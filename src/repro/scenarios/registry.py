@@ -112,6 +112,39 @@ register(ScenarioSpec(
     delays=DelayPolicy.sweep(16),
 ))
 
+# --- fault-model scenarios: the robustness layer as registry workloads ---
+# Both inject a FaultPlan through the sweep executors; the verdict rows
+# (including crash attribution and the certified-never-crash class) are
+# part of the reference/compiled parity contract and golden-pinned.
+
+register(ScenarioSpec(
+    name="rendezvous-relabel-line",
+    kind="delay_sweep",
+    description="Alternator delay sweep on a colored line under "
+                "adversarial port relabelings (rounds 3 and 6) — the "
+                "fault-model relabeling showcase",
+    tree="colored:9",
+    agent="alternator",
+    pairs=((0, 5),),
+    delays=DelayPolicy.sweep(8),
+    params={"faults": {"relabels": [[3, 1], [6, 2]]}},
+))
+
+register(ScenarioSpec(
+    name="gathering-crash-k3",
+    kind="gathering_sweep",
+    description="3-agent gathering sweep with a crash-stop fault (agent "
+                "2 at round 6) and a transient pause (agent 0, rounds "
+                "2-3): certified-never-crash attribution showcase",
+    agent="counting:2",
+    params={
+        "trees": ["line:9", "line:12"],
+        "start_sets": [[0, 1, 3], [0, 2, 4]],
+        "delay_vectors": [[0, 0, 0], [0, 1, 2], [1, 0, 2], [2, 0, 1]],
+        "faults": {"crashes": [[2, 6]], "pauses": [[0, 2, 2]]},
+    },
+))
+
 register(ScenarioSpec(
     name="baseline-delays",
     kind="baseline_delays",

@@ -26,6 +26,7 @@ hand-rolled (no jsonschema dependency in the image).
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 from typing import Union
 
@@ -134,11 +135,20 @@ class ResultStore:
         return self.root / f"{name}.json"
 
     def save(self, result: ScenarioResult) -> pathlib.Path:
+        """Write atomically: a reader (or a kill) mid-save must see either
+        the old complete file or the new complete file, never a torn one.
+        The temp file lives next to the target so ``os.replace`` stays on
+        one filesystem (rename atomicity)."""
         payload = result.to_payload()
         validate_payload(payload)
         self.root.mkdir(parents=True, exist_ok=True)
         path = self.path_for(result.name)
-        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        tmp = path.with_name(path.name + ".tmp")
+        try:
+            tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
         return path
 
     def load(self, name_or_path: Union[str, pathlib.Path]) -> dict:
@@ -169,7 +179,22 @@ class ResultStore:
             path = self.path_for(text)
         if not path.exists():
             raise ScenarioError(f"no stored result at {path}")
-        payload = json.loads(path.read_text())
+        try:
+            payload = json.loads(path.read_text())
+        except ValueError as exc:
+            # Corrupt JSON (torn write from a pre-atomic saver, disk
+            # trouble, manual edit): quarantine the file so the next
+            # save/run is not poisoned by it, and say exactly where it
+            # went.  Saves are atomic, so this should never be ours.
+            quarantine = path.with_name(path.name + ".corrupt")
+            try:
+                os.replace(path, quarantine)
+                where = f"; quarantined to {quarantine}"
+            except OSError:
+                where = ""
+            raise ScenarioError(
+                f"stored result at {path} is not valid JSON ({exc}){where}"
+            ) from None
         validate_payload(payload)
         return payload
 

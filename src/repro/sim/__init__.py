@@ -15,6 +15,13 @@ Interchangeable backends execute rendezvous runs:
   backend, everything else to the reference engine (grid workloads
   reach the traced backend through the scenario backends, where trace
   sharing pays).
+
+Every runner accepts ``faults=`` — a :class:`FaultPlan` of crash-stop,
+pause, and adversarial-relabel faults (:mod:`repro.sim.faults`) —
+dispatched to faulted twins that keep reference/compiled parity.  Long
+grids run under the supervised pool (:mod:`repro.sim.supervise`):
+per-job timeouts, retry with backoff, worker respawn, structured
+:class:`JobFailure` rows, and checkpointed resume.
 """
 
 from .adversary import (
@@ -43,7 +50,24 @@ from .compiled import (
     supports_compilation,
 )
 from .engine import RendezvousOutcome, run_rendezvous
+from .faults import (
+    CrashFault,
+    FaultPlan,
+    PauseFault,
+    RelabelFault,
+    run_gathering_faulted,
+    run_rendezvous_faulted,
+    solve_all_delays_faulted,
+    solve_gathering_faulted,
+)
 from .gathering_solver import GatheringVerdict, solve_gathering
+from .supervise import (
+    JobFailure,
+    SweepCheckpoint,
+    job_fingerprint,
+    run_batch_supervised,
+    run_gathering_batch_supervised,
+)
 from .instrument import RegisterEvent, SoloRun, run_solo
 from .traced import (
     SoloTrace,
@@ -79,6 +103,19 @@ __all__ = [
     "run_batch",
     "run_gathering_batch",
     "derive_seed",
+    "FaultPlan",
+    "CrashFault",
+    "PauseFault",
+    "RelabelFault",
+    "run_rendezvous_faulted",
+    "run_gathering_faulted",
+    "solve_all_delays_faulted",
+    "solve_gathering_faulted",
+    "JobFailure",
+    "SweepCheckpoint",
+    "job_fingerprint",
+    "run_batch_supervised",
+    "run_gathering_batch_supervised",
     "RendezvousOutcome",
     "NonMeetingCertificate",
     "JointConfig",

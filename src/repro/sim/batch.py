@@ -76,6 +76,10 @@ class BatchJob:
     right before the run, so agents that consult module-level randomness
     behave identically whether the job runs serially or in a pool worker
     with inherited RNG state.
+
+    ``faults`` (optional) is a :class:`~repro.sim.faults.FaultPlan`
+    executed by the run; it is only forwarded when set, so fault-free
+    jobs keep working against runners without a ``faults`` parameter.
     """
 
     tree: Tree
@@ -87,20 +91,26 @@ class BatchJob:
     max_rounds: int = 1_000_000
     certify: bool = False
     seed: Optional[int] = None
+    faults: Optional[object] = None
 
     def apply(self, run: Callable[..., _O]) -> _O:
         """Invoke a ``run_rendezvous``-shaped callable on this job — the
         one place the job→kwargs expansion lives (the pool worker and
         ``Backend.run_many`` both route through it)."""
+        kwargs = dict(
+            delay=self.delay,
+            delayed=self.delayed,
+            max_rounds=self.max_rounds,
+            certify=self.certify,
+        )
+        if self.faults is not None:
+            kwargs["faults"] = self.faults
         return run(
             self.tree,
             self.prototype,
             self.start1,
             self.start2,
-            delay=self.delay,
-            delayed=self.delayed,
-            max_rounds=self.max_rounds,
-            certify=self.certify,
+            **kwargs,
         )
 
 
@@ -109,7 +119,7 @@ class GatheringJob:
     """One independent k-agent gathering run (``BatchJob``'s k-agent twin).
 
     ``delays`` aligns with ``starts`` (``None`` means all zero); ``seed``
-    behaves exactly as on :class:`BatchJob`.
+    and ``faults`` behave exactly as on :class:`BatchJob`.
     """
 
     tree: Tree
@@ -119,17 +129,23 @@ class GatheringJob:
     max_rounds: int = 1_000_000
     certify: bool = False
     seed: Optional[int] = None
+    faults: Optional[object] = None
 
     def apply(self, run: Callable[..., _O]) -> _O:
         """Invoke a ``run_gathering``-shaped callable on this job (see
         :meth:`BatchJob.apply`)."""
+        kwargs = dict(
+            delays=list(self.delays) if self.delays is not None else None,
+            max_rounds=self.max_rounds,
+            certify=self.certify,
+        )
+        if self.faults is not None:
+            kwargs["faults"] = self.faults
         return run(
             self.tree,
             self.prototype,
             list(self.starts),
-            delays=list(self.delays) if self.delays is not None else None,
-            max_rounds=self.max_rounds,
-            certify=self.certify,
+            **kwargs,
         )
 
 
@@ -199,9 +215,9 @@ def _fan_out(
         ctx = multiprocessing.get_context()
     if chunksize is None:
         chunksize = max(1, len(jobs) // (4 * processes))
+    pool = ctx.Pool(processes)
     try:
-        with ctx.Pool(processes) as pool:
-            return pool.map(run_one, jobs, chunksize)
+        return pool.map(run_one, jobs, chunksize)
     except (pickle.PicklingError, OSError):  # pragma: no cover - env-specific
         # Covers what the up-front probe cannot: a pickle failure on the
         # *result* path, or pool breakage from the environment.  Kept
@@ -209,6 +225,14 @@ def _fan_out(
         # AttributeError/TypeError here is a genuine worker bug that must
         # surface, not trigger a full serial re-run.
         return _run_serial(jobs, run_one)
+    finally:
+        # A failed — or ^C-interrupted — batch must never leak workers:
+        # terminate unconditionally (a no-op cost on the success path,
+        # where map has already drained) and join before the exception
+        # propagates.  ``with Pool(...)`` alone is not enough: its
+        # __exit__ can itself be interrupted before reaping the children.
+        pool.terminate()
+        pool.join()
 
 
 def _run_serial(jobs: Sequence[_J], run_one: Callable[[_J], _O]) -> list[_O]:

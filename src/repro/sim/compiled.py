@@ -220,6 +220,7 @@ def run_rendezvous_compiled(
     certify: bool = False,
     record_trace: bool = False,
     prototype2: Optional[Automaton] = None,
+    faults=None,
 ) -> RendezvousOutcome:
     """Table-driven replay of :func:`repro.sim.engine.run_rendezvous`.
 
@@ -232,7 +233,18 @@ def run_rendezvous_compiled(
     (:mod:`repro.sim.traced`) uses to feed per-(tree, start) traced
     tables through the product machinery.  The classic rendezvous
     problem (two *identical* agents) simply leaves it unset.
+
+    ``faults`` (an optional :class:`~repro.sim.faults.FaultPlan`)
+    dispatches to the faulted twin of this loop.
     """
+    if faults:
+        from .faults import run_rendezvous_faulted_compiled
+
+        return run_rendezvous_faulted_compiled(
+            tree, prototype, start1, start2, faults=faults,
+            delay=delay, delayed=delayed, max_rounds=max_rounds,
+            certify=certify, record_trace=record_trace, prototype2=prototype2,
+        )
     if not isinstance(prototype, Automaton):
         raise SimulationError("compiled backend requires a finite-state Automaton")
     if prototype2 is not None and not isinstance(prototype2, Automaton):
@@ -403,6 +415,10 @@ class DelayVerdict:
     met: bool
     meeting_round: Optional[int]
     certified_never: bool
+    # Did a crash fault fire by this choice's final decided round?
+    # Always False for fault-free sweeps; lets executors certify
+    # "never meets because a fault killed an agent" distinctly.
+    crashed: bool = False
 
 
 _NEVER = (False, -1)
@@ -418,6 +434,7 @@ def solve_all_delays(
     delayed_sides: Sequence[int] = (1, 2),
     max_configs: int = 4_000_000,
     prototype2: Optional[Automaton] = None,
+    faults=None,
 ) -> list[DelayVerdict]:
     """Decide every delay θ ∈ [0, max_delay] in one shared reachability pass.
 
@@ -439,8 +456,18 @@ def solve_all_delays(
 
     ``prototype2`` (default: ``prototype``) is agent 2's automaton — the
     heterogeneous-agent seam used by traced lowering
-    (:mod:`repro.sim.traced`).
+    (:mod:`repro.sim.traced`).  ``faults`` (an optional
+    :class:`~repro.sim.faults.FaultPlan`) routes to the faulted exact
+    solver, which keeps the same shared-memo structure.
     """
+    if faults:
+        from .faults import solve_all_delays_faulted
+
+        return solve_all_delays_faulted(
+            tree, prototype, start1, start2, max_delay=max_delay,
+            faults=faults, delayed_sides=delayed_sides,
+            max_configs=max_configs, prototype2=prototype2,
+        )
     if not isinstance(prototype, Automaton):
         raise SimulationError("the all-delays solver requires a finite-state Automaton")
     if prototype2 is not None and not isinstance(prototype2, Automaton):

@@ -69,6 +69,9 @@ class RendezvousOutcome:
     crossings: int
     trace: Optional[Trace]
     agents: tuple[AgentBase, AgentBase]
+    # Agents (0-based: rendezvous agent 1 -> 0) whose crash fault had
+    # fired by the final executed round; always () for fault-free runs.
+    crashed: tuple[int, ...] = ()
 
     @property
     def undecided(self) -> bool:
@@ -86,6 +89,7 @@ def run_rendezvous(
     max_rounds: int = 1_000_000,
     certify: bool = False,
     record_trace: bool = False,
+    faults=None,
 ) -> RendezvousOutcome:
     """Execute the rendezvous problem for two copies of ``prototype``.
 
@@ -102,7 +106,20 @@ def run_rendezvous(
         agents only; silently ignored when agents expose no ``state``).
     record_trace:
         Fill in a full :class:`~repro.sim.trace.Trace`.
+    faults:
+        An optional :class:`~repro.sim.faults.FaultPlan` (or its JSON
+        form): crash-stop / pause / relabel faults, executed by the
+        faulted twin of this loop.  ``None`` or an empty plan means the
+        fault-free engine below.
     """
+    if faults:
+        from .faults import run_rendezvous_faulted
+
+        return run_rendezvous_faulted(
+            tree, prototype, start1, start2, faults=faults,
+            delay=delay, delayed=delayed, max_rounds=max_rounds,
+            certify=certify, record_trace=record_trace,
+        )
     if not (0 <= start1 < tree.n and 0 <= start2 < tree.n):
         raise SimulationError("start nodes outside the tree")
     if delay < 0:

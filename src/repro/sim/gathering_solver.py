@@ -61,6 +61,9 @@ class GatheringVerdict:
     gathered: bool
     gathering_round: Optional[int]
     certified_never: bool
+    # Did a crash fault fire by this vector's final decided round?
+    # Always False for fault-free sweeps (see DelayVerdict.crashed).
+    crashed: bool = False
 
 
 def solve_gathering(
@@ -71,6 +74,7 @@ def solve_gathering(
     *,
     max_configs: int = 4_000_000,
     prototypes: Optional[Sequence[Automaton]] = None,
+    faults=None,
 ) -> list[GatheringVerdict]:
     """Decide gathering for every per-agent delay vector, exactly.
 
@@ -86,7 +90,16 @@ def solve_gathering(
     ``prototypes`` (default: ``prototype`` for every agent) gives agent
     i its own automaton — the heterogeneous seam traced lowering
     (:mod:`repro.sim.traced`) feeds per-(tree, start) tables through.
+    ``faults`` (an optional :class:`~repro.sim.faults.FaultPlan`)
+    routes to the faulted exact solver.
     """
+    if faults:
+        from .faults import solve_gathering_faulted
+
+        return solve_gathering_faulted(
+            tree, prototype, starts, delay_vectors, faults=faults,
+            max_configs=max_configs, prototypes=prototypes,
+        )
     starts = list(starts)
     protos = list(prototypes) if prototypes is not None else [prototype] * len(starts)
     if len(protos) != len(starts):

@@ -66,6 +66,9 @@ class GatheringOutcome:
     positions: tuple[int, ...]  # final positions
     largest_cluster: int  # max #agents ever co-located in a single round
     certified_never: bool = False
+    # Agents whose crash fault had fired by the final executed round;
+    # always () for fault-free runs.
+    crashed: tuple[int, ...] = ()
 
     @property
     def undecided(self) -> bool:
@@ -96,6 +99,7 @@ def run_gathering(
     delays: Optional[Sequence[int]] = None,
     max_rounds: int = 1_000_000,
     certify: bool = False,
+    faults=None,
 ) -> GatheringOutcome:
     """Run ``len(starts)`` copies of ``prototype`` until they all co-locate.
 
@@ -103,10 +107,19 @@ def run_gathering(
     have not started yet still occupy their start node.  ``certify``
     detects a joint-configuration recurrence to certify non-gathering
     (finite-state agents; silently ignored when agents expose no state).
+    ``faults`` (an optional :class:`~repro.sim.faults.FaultPlan`)
+    dispatches to the faulted twins of both loops.
 
     Finite-state prototypes are dispatched to the compiled table-driven
     loop; everything else runs on :func:`run_gathering_reference`.
     """
+    if faults:
+        from .faults import run_gathering_faulted
+
+        return run_gathering_faulted(
+            tree, prototype, starts, faults=faults,
+            delays=delays, max_rounds=max_rounds, certify=certify,
+        )
     delay_list = _validate(tree, starts, delays)
     if supports_compilation(prototype) == "native":
         return _run_gathering_compiled(
@@ -125,8 +138,16 @@ def run_gathering_reference(
     delays: Optional[Sequence[int]] = None,
     max_rounds: int = 1_000_000,
     certify: bool = False,
+    faults=None,
 ) -> GatheringOutcome:
     """The oracle loop, forced for every agent type (parity testing)."""
+    if faults:
+        from .faults import run_gathering_faulted_reference
+
+        return run_gathering_faulted_reference(
+            tree, prototype, starts, faults=faults,
+            delays=delays, max_rounds=max_rounds, certify=certify,
+        )
     delay_list = _validate(tree, starts, delays)
     return _run_gathering_loop(
         tree, prototype, list(starts), delay_list, max_rounds, certify
@@ -141,8 +162,16 @@ def run_gathering_compiled(
     delays: Optional[Sequence[int]] = None,
     max_rounds: int = 1_000_000,
     certify: bool = False,
+    faults=None,
 ) -> GatheringOutcome:
     """The table-driven loop, forced (requires a finite-state Automaton)."""
+    if faults:
+        from .faults import run_gathering_faulted_compiled
+
+        return run_gathering_faulted_compiled(
+            tree, prototype, starts, faults=faults,
+            delays=delays, max_rounds=max_rounds, certify=certify,
+        )
     if supports_compilation(prototype) != "native":
         raise SimulationError(
             "compiled gathering requires a finite-state Automaton"

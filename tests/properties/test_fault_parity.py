@@ -1,0 +1,115 @@
+"""Property tests: faulted compiled backend ≡ faulted reference engine.
+
+Same contract as test_backend_parity, with an adversary in the loop: on
+randomized (tree, automaton, starts, delay, fault plan) instances the
+compiled faulted loop must reproduce the reference loop's ``met`` /
+``meeting_round`` / ``certified_never`` / ``crashed`` verdicts, and the
+faulted all-delays solver must agree with per-choice reference runs.
+
+Budgets extend the fault-free period bound by the plan horizon: past the
+horizon the joint dynamics are autonomous again (crashed agents are
+frozen obstacles, the labeling is final), so the same recurrence
+argument applies to the post-horizon suffix.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.agents import Automaton
+from repro.sim import (
+    CrashFault,
+    FaultPlan,
+    PauseFault,
+    RelabelFault,
+    run_rendezvous_faulted,
+    solve_all_delays_faulted,
+)
+from repro.sim.faults import run_rendezvous_faulted_compiled
+from repro.trees import random_relabel, random_tree
+
+
+@st.composite
+def instances(draw, max_n=8, max_states=3):
+    n = draw(st.integers(2, max_n))
+    tree_seed = draw(st.integers(0, 2**20))
+    rng = random.Random(tree_seed)
+    tree = random_relabel(random_tree(n, rng), rng)
+    k = draw(st.integers(1, max_states))
+    dmax = tree.max_degree()
+    table = {
+        (s, ip, d): draw(st.integers(0, k - 1))
+        for s in range(k)
+        for ip in range(-1, dmax)
+        for d in range(1, dmax + 1)
+    }
+    output = [draw(st.integers(-1, 2)) for _ in range(k)]
+    agent = Automaton(k, table, output, draw(st.integers(0, k - 1)))
+    u = draw(st.integers(0, n - 1))
+    v = draw(st.integers(0, n - 1))
+    return tree, agent, u, v
+
+
+@st.composite
+def fault_plans(draw, num_agents=2, max_round=6):
+    """A small non-empty plan over ``num_agents`` agents: at most one
+    crash, at most one pause per agent, at most two relabels."""
+    crashes = []
+    crash_agent = draw(st.sampled_from([None] + list(range(num_agents))))
+    if crash_agent is not None:
+        crashes.append(CrashFault(crash_agent, draw(st.integers(1, max_round))))
+    pauses = []
+    for agent in range(num_agents):
+        if draw(st.booleans()):
+            pauses.append(PauseFault(
+                agent, draw(st.integers(1, max_round)), draw(st.integers(1, 3))
+            ))
+    relabels = []
+    for rnd in sorted(draw(st.sets(st.integers(1, max_round), max_size=2))):
+        relabels.append(RelabelFault(rnd, draw(st.integers(0, 2**10))))
+    plan = FaultPlan(tuple(crashes), tuple(pauses), tuple(relabels))
+    return plan if plan else FaultPlan(crashes=(CrashFault(0, max_round),))
+
+
+def decisive_budget(tree, agent, delay, plan):
+    period = (tree.n * agent.num_states * (tree.max_degree() + 1)) ** 2
+    return 4 * period + delay + plan.horizon + 16
+
+
+@settings(max_examples=40, deadline=None)
+@given(instances(), fault_plans(), st.integers(0, 5), st.sampled_from([1, 2]))
+def test_faulted_single_run_verdict_parity(instance, plan, delay, delayed):
+    tree, agent, u, v = instance
+    budget = decisive_budget(tree, agent, delay, plan)
+    kw = dict(
+        faults=plan, delay=delay, delayed=delayed,
+        max_rounds=budget, certify=True,
+    )
+    ref = run_rendezvous_faulted(tree, agent, u, v, **kw)
+    cmp_ = run_rendezvous_faulted_compiled(tree, agent, u, v, **kw)
+    assert ref.met or ref.certified_never, "budget sized to always decide"
+    assert ref.met == cmp_.met
+    assert ref.meeting_round == cmp_.meeting_round
+    assert ref.meeting_node == cmp_.meeting_node
+    assert ref.certified_never == cmp_.certified_never
+    assert ref.crashed == cmp_.crashed
+    if ref.met:  # identical executed prefix -> identical crossing counts
+        assert ref.crossings == cmp_.crossings
+
+
+@settings(max_examples=20, deadline=None)
+@given(instances(max_n=7), fault_plans(), st.integers(0, 4))
+def test_faulted_solver_matches_per_choice_reference(instance, plan, max_delay):
+    tree, agent, u, v = instance
+    budget = decisive_budget(tree, agent, max_delay, plan)
+    for dv in solve_all_delays_faulted(
+        tree, agent, u, v, max_delay=max_delay, faults=plan
+    ):
+        ref = run_rendezvous_faulted(
+            tree, agent, u, v, faults=plan, delay=dv.delay,
+            delayed=dv.delayed, max_rounds=budget, certify=True,
+        )
+        assert (ref.met, ref.meeting_round, ref.certified_never) == (
+            dv.met, dv.meeting_round, dv.certified_never,
+        )

@@ -104,6 +104,63 @@ class TestStoreRoundtrip:
         assert store.load("golden/thm31-sweep.json") == payload
 
 
+class TestRobustPersistence:
+    """Satellites of the fault-model PR: atomic saves, quarantine of
+    corrupt results instead of poisoning every later load."""
+
+    def test_save_leaves_no_temp_residue(self, result, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save(result)
+        assert [p.name for p in tmp_path.iterdir()] == ["delays-line.json"]
+
+    def test_save_over_existing_result_replaces_it(self, result, tmp_path):
+        store = ResultStore(tmp_path)
+        store.save(result)
+        before = store.load(result.name)
+        store.save(result)
+        assert store.load(result.name) == before
+        assert [p.name for p in tmp_path.iterdir()] == ["delays-line.json"]
+
+    def test_failed_save_cleans_up_its_temp_file(self, result, tmp_path, monkeypatch):
+        import os
+
+        store = ResultStore(tmp_path)
+
+        def boom(src, dst):
+            raise OSError("simulated replace failure")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(OSError):
+            store.save(result)
+        # The temp file is gone and no half-written target appeared.
+        assert list(tmp_path.iterdir()) == []
+
+    def test_corrupt_json_is_quarantined_not_fatal_forever(self, result, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.save(result)
+        path.write_text('{"schema": "repro.scenario-result/v1", "rows": [')
+        with pytest.raises(ScenarioError) as exc:
+            store.load(result.name)
+        assert "not valid JSON" in str(exc.value)
+        assert not path.exists()  # moved aside...
+        quarantine = path.with_name(path.name + ".corrupt")
+        assert quarantine.exists()  # ...kept for forensics
+        assert str(quarantine) in str(exc.value)
+        # The slot is usable again immediately.
+        store.save(result)
+        assert store.load(result.name)["scenario"] == result.name
+
+    def test_valid_but_off_schema_json_is_not_quarantined(self, result, tmp_path):
+        # Schema violations are a different failure: the file parses, so
+        # it stays put for inspection and the error names the field.
+        store = ResultStore(tmp_path)
+        path = store.save(result)
+        path.write_text('{"schema": "v0"}')
+        with pytest.raises(ScenarioError):
+            store.load(result.name)
+        assert path.exists()
+
+
 class TestValidation:
     def test_rejects_wrong_schema(self, result):
         payload = result.to_payload()

@@ -8,6 +8,8 @@ from hypothesis import strategies as st
 from repro.agents import STAY, Automaton, random_line_automaton
 from repro.core import rendezvous_agent
 from repro.sim import (
+    AdversaryReport,
+    FailedInstance,
     adversarial_search,
     all_start_pairs,
     feasible_start_pairs,
@@ -89,6 +91,75 @@ class TestAdversarialSearch:
         assert report.instances_run == len(list(feasible_start_pairs(t))) * (
             len(labelings_for(t))
         ) * 3  # (0: one side) + (3: two sides)
+
+
+class TestAdversaryFailurePaths:
+    """The failure-side bookkeeping: FailedInstance records, the
+    all_succeeded predicate, and reproducibility of a failing sweep."""
+
+    @staticmethod
+    def lazy():
+        return Automaton(1, {}, [STAY])
+
+    def failing_search(self, **kw):
+        kw.setdefault("delays", (0, 1))
+        kw.setdefault("max_rounds", 200)
+        kw.setdefault("certify", True)
+        return adversarial_search(line(4), self.lazy(), **kw)
+
+    @staticmethod
+    def failure_key(inst):
+        return (
+            inst.tree, inst.start1, inst.start2, inst.delay, inst.delayed,
+            inst.outcome.met, inst.outcome.certified_never,
+        )
+
+    def test_every_defeat_is_recorded_with_its_full_choice(self):
+        report = self.failing_search()
+        assert report.instances_run == len(report.failures) > 0
+        assert report.successes == 0
+        assert report.max_meeting_round == 0
+        assert not report.all_succeeded
+        for inst in report.failures:
+            assert isinstance(inst, FailedInstance)
+            assert 0 <= inst.start1 < inst.tree.n
+            assert 0 <= inst.start2 < inst.tree.n
+            assert inst.delay in (0, 1)
+            assert inst.delayed in (1, 2)
+            if inst.delay == 0:  # zero delay runs one canonical side
+                assert inst.delayed == 2
+            assert inst.outcome.certified_never  # decided, not timed out
+
+    def test_undecided_instances_also_block_all_succeeded(self):
+        # Without certification the lazy agent's runs are undecided, not
+        # certified: they count as failures AND as undecided.
+        report = self.failing_search(certify=False, max_rounds=30)
+        assert report.undecided == report.instances_run > 0
+        assert len(report.failures) == report.instances_run
+        assert not report.all_succeeded
+
+    def test_all_succeeded_predicate(self):
+        assert AdversaryReport().all_succeeded  # vacuous truth: no instances
+        met = AdversaryReport(instances_run=1, successes=1, max_meeting_round=3)
+        assert met.all_succeeded
+        undecided_only = AdversaryReport(instances_run=1, undecided=1)
+        assert not undecided_only.all_succeeded
+
+    def test_seeded_failing_search_is_reproducible(self):
+        a = self.failing_search(seed=17)
+        b = self.failing_search(seed=17)
+        assert a.instances_run == b.instances_run
+        assert list(map(self.failure_key, a.failures)) == list(
+            map(self.failure_key, b.failures)
+        )
+
+    def test_seeded_failure_set_is_process_count_independent(self):
+        serial = self.failing_search(seed=17)
+        pooled = self.failing_search(seed=17, processes=2)
+        assert serial.instances_run == pooled.instances_run
+        assert list(map(self.failure_key, serial.failures)) == list(
+            map(self.failure_key, pooled.failures)
+        )
 
 
 class TestParityLemma:

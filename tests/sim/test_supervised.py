@@ -1,0 +1,286 @@
+"""Tests for the supervised sweep pool (repro.sim.supervise).
+
+The pool's contract: per-job wall-clock timeouts, bounded retry with
+backoff, dead-worker detection and respawn, structured JobFailure rows
+instead of batch-wide crashes, checkpointed resume, and no leaked
+worker processes on any path.
+"""
+
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+from repro.agents import STAY, Automaton, alternator
+from repro.scenarios.backends import BatchedBackend
+from repro.scenarios.spec import ScenarioError
+from repro.sim import (
+    BatchJob,
+    GatheringJob,
+    JobFailure,
+    SweepCheckpoint,
+    job_fingerprint,
+    run_batch,
+    run_batch_supervised,
+    run_gathering_batch,
+    run_gathering_batch_supervised,
+)
+from repro.sim.supervise import decode_outcome, encode_outcome
+from repro.trees import line, spider
+
+
+def walker():
+    return Automaton(1, {}, [0])
+
+
+class KillerAgent:
+    """Duck-typed agent that SIGKILLs its worker process on start —
+    simulates an OOM-killed / externally killed worker mid-job."""
+
+    def start(self, degree):
+        os.kill(os.getpid(), signal.SIGKILL)
+
+    def step(self, in_port, degree):
+        return STAY
+
+    def clone(self):
+        return KillerAgent()
+
+
+def healthy_jobs():
+    t = line(6)
+    return [
+        BatchJob(t, walker(), u, v, delay=d, max_rounds=5000, certify=True)
+        for (u, v, d) in [(0, 5, 0), (1, 4, 2), (2, 5, 1), (0, 3, 0)]
+    ]
+
+
+def hang_job():
+    """Alternator 0<->8 on a plain line never meets; without
+    certification the run spins to max_rounds — minutes of wall clock,
+    an effective hang for a sub-second timeout."""
+    return BatchJob(
+        line(9), alternator(), 0, 8,
+        delay=0, certify=False, max_rounds=10**9,
+    )
+
+
+def as_verdicts(outcomes):
+    return [(o.met, o.meeting_round, o.certified_never) for o in outcomes]
+
+
+def assert_no_leaked_workers():
+    deadline = time.monotonic() + 5.0
+    while multiprocessing.active_children() and time.monotonic() < deadline:
+        time.sleep(0.05)
+    assert multiprocessing.active_children() == []
+
+
+class TestHealthyPaths:
+    def test_pooled_matches_plain_batch(self):
+        plain = run_batch(healthy_jobs(), processes=2)
+        supervised = run_batch_supervised(healthy_jobs(), processes=2)
+        assert as_verdicts(supervised) == as_verdicts(plain)
+        assert_no_leaked_workers()
+
+    def test_supervised_outcomes_carry_no_trace_or_agents(self):
+        for out in run_batch_supervised(healthy_jobs(), processes=2):
+            assert out.trace is None
+            assert out.agents == ()
+
+    def test_serial_path_matches(self):
+        plain = run_batch(healthy_jobs(), processes=1)
+        supervised = run_batch_supervised(healthy_jobs(), processes=1)
+        assert as_verdicts(supervised) == as_verdicts(plain)
+
+    def test_empty_batch(self):
+        assert run_batch_supervised([]) == []
+        assert run_gathering_batch_supervised([]) == []
+
+    def test_unpicklable_jobs_fall_back_to_serial(self):
+        closure_agent = Automaton(1, lambda s, ip, d: 0, [STAY])
+        jobs = [BatchJob(line(5), closure_agent, 1, 3, max_rounds=50, certify=True)]
+        # A timeout cannot preempt in-process work, but the batch must
+        # still complete instead of failing on the pickle hop.
+        (out,) = run_batch_supervised(jobs, processes=4, timeout=30.0)
+        assert out.certified_never
+
+    def test_gathering_supervised_matches_plain(self):
+        t = spider([2, 2, 2])
+        jobs = [
+            GatheringJob(t, walker(), starts, delays=delays,
+                         max_rounds=4000, certify=True)
+            for starts, delays in [((1, 3, 5), None), ((2, 4, 6), (3, 0, 0))]
+        ]
+        plain = run_gathering_batch(jobs, processes=2)
+        supervised = run_gathering_batch_supervised(jobs, processes=2)
+        assert [(o.gathered, o.gathering_round, o.certified_never)
+                for o in supervised] == [
+            (o.gathered, o.gathering_round, o.certified_never) for o in plain
+        ]
+        assert_no_leaked_workers()
+
+
+class TestFailureKinds:
+    def test_timeout_yields_structured_failure(self):
+        jobs = [hang_job()] + healthy_jobs()[:2]
+        results = run_batch_supervised(
+            jobs, processes=2, timeout=1.0, retries=0
+        )
+        failure = results[0]
+        assert isinstance(failure, JobFailure)
+        assert failure.kind == "timeout"
+        assert failure.index == 0
+        assert failure.attempts == 1
+        # The hung slot must not poison its neighbors.
+        assert as_verdicts(results[1:]) == as_verdicts(
+            run_batch(healthy_jobs()[:2], processes=1)
+        )
+        assert_no_leaked_workers()
+
+    def test_retries_are_counted_and_bounded(self):
+        results = run_batch_supervised(
+            [hang_job()], processes=1, timeout=0.4, retries=2, backoff=0.05
+        )
+        (failure,) = results
+        assert isinstance(failure, JobFailure)
+        assert failure.kind == "timeout"
+        assert failure.attempts == 3  # 1 initial + 2 retries
+
+    def test_killed_worker_is_detected_and_respawned(self):
+        jobs = [
+            healthy_jobs()[0],
+            BatchJob(line(5), KillerAgent(), 0, 4, max_rounds=50),
+            healthy_jobs()[1],
+        ]
+        results = run_batch_supervised(jobs, processes=2, retries=1)
+        failure = results[1]
+        assert isinstance(failure, JobFailure)
+        assert failure.kind == "crash"
+        assert failure.attempts == 2
+        # Neighbors completed even though a pool worker died mid-batch.
+        assert not isinstance(results[0], JobFailure)
+        assert not isinstance(results[2], JobFailure)
+        assert_no_leaked_workers()
+
+    def test_in_job_errors_are_deterministic_and_never_retried(self):
+        bad = BatchJob(line(5), walker(), 0, 99, max_rounds=50)  # start off-tree
+        results = run_batch_supervised(
+            [bad] + healthy_jobs()[:1], processes=2, retries=3
+        )
+        failure = results[0]
+        assert isinstance(failure, JobFailure)
+        assert failure.kind == "error"
+        assert failure.attempts == 1  # retrying would reproduce it
+        assert "SimulationError" in failure.message
+        assert not isinstance(results[1], JobFailure)
+
+    def test_serial_path_reports_errors_too(self):
+        bad = BatchJob(line(5), walker(), 0, 99, max_rounds=50)
+        results = run_batch_supervised([bad], processes=1)
+        (failure,) = results
+        assert isinstance(failure, JobFailure)
+        assert failure.kind == "error"
+
+
+class TestCheckpointing:
+    def test_checkpoint_records_and_resumes(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        jobs = healthy_jobs()
+        first = run_batch_supervised(jobs[:2], processes=2, checkpoint=path)
+        assert len(path.read_text().splitlines()) == 2
+
+        full = run_batch_supervised(jobs, processes=2, checkpoint=path)
+        # The two finished cells were replayed, the rest computed fresh.
+        assert len(path.read_text().splitlines()) == len(jobs)
+        assert as_verdicts(full) == as_verdicts(run_batch(jobs, processes=1))
+        assert as_verdicts(full[:2]) == as_verdicts(first)
+
+    def test_checkpoint_resume_skips_failures(self, tmp_path):
+        # Failures are not checkpointed: a re-run must re-attempt them.
+        path = tmp_path / "sweep.jsonl"
+        jobs = [hang_job()] + healthy_jobs()[:1]
+        run_batch_supervised(
+            jobs, processes=2, timeout=0.6, retries=0, checkpoint=path
+        )
+        assert len(path.read_text().splitlines()) == 1  # only the healthy cell
+        ckpt = SweepCheckpoint(path)
+        assert job_fingerprint(0, jobs[0]) not in ckpt.load()
+        assert job_fingerprint(1, jobs[1]) in ckpt.load()
+
+    def test_checkpoint_tolerates_torn_tail(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        jobs = healthy_jobs()[:2]
+        run_batch_supervised(jobs, processes=1, checkpoint=path)
+        with path.open("a") as fh:
+            fh.write('{"fingerprint": "dead", "outco')  # torn mid-write
+        loaded = SweepCheckpoint(path).load()
+        assert len(loaded) == 2
+        # And a resume over the damaged file still completes cleanly.
+        results = run_batch_supervised(jobs, processes=1, checkpoint=path)
+        assert as_verdicts(results) == as_verdicts(run_batch(jobs, processes=1))
+
+    def test_fingerprints_are_stable_and_positional(self):
+        jobs = healthy_jobs()
+        assert job_fingerprint(0, jobs[0]) == job_fingerprint(0, jobs[0])
+        assert job_fingerprint(0, jobs[0]) != job_fingerprint(1, jobs[0])
+        assert job_fingerprint(0, jobs[0]) != job_fingerprint(0, jobs[1])
+
+
+class TestOutcomeCodec:
+    def test_rendezvous_roundtrip(self):
+        (out,) = run_batch(healthy_jobs()[:1], processes=1)
+        back = decode_outcome(encode_outcome(out))
+        assert (back.met, back.meeting_round, back.meeting_node,
+                back.rounds_executed, back.certified_never, back.crossings,
+                back.crashed) == (
+            out.met, out.meeting_round, out.meeting_node,
+            out.rounds_executed, out.certified_never, out.crossings,
+            out.crashed,
+        )
+        assert back.trace is None and back.agents == ()
+
+    def test_gathering_roundtrip(self):
+        job = GatheringJob(spider([2, 2, 2]), walker(), (1, 3, 5),
+                           max_rounds=400, certify=True)
+        (out,) = run_gathering_batch([job], processes=1)
+        back = decode_outcome(encode_outcome(out))
+        assert (back.gathered, back.gathering_round, back.gathering_node,
+                back.positions, back.largest_cluster, back.certified_never,
+                back.crashed) == (
+            out.gathered, out.gathering_round, out.gathering_node,
+            out.positions, out.largest_cluster, out.certified_never,
+            out.crashed,
+        )
+
+    def test_codec_rejects_foreign_payloads(self):
+        with pytest.raises(TypeError):
+            encode_outcome(object())
+        with pytest.raises(ValueError):
+            decode_outcome({"type": "martian"})
+
+
+class TestBatchedBackendIntegration:
+    def test_supervised_backend_surfaces_failures_as_scenario_errors(self):
+        backend = BatchedBackend(processes=2, timeout=0.8, retries=0)
+        with pytest.raises(ScenarioError) as exc:
+            backend.run_many([hang_job()] + healthy_jobs()[:1])
+        assert "timeout" in str(exc.value)
+        assert_no_leaked_workers()
+
+    def test_supervised_backend_healthy_grid_matches_plain(self):
+        backend = BatchedBackend(processes=2, timeout=60.0)
+        plain = BatchedBackend(processes=2)
+        assert as_verdicts(backend.run_many(healthy_jobs())) == as_verdicts(
+            plain.run_many(healthy_jobs())
+        )
+
+    def test_backend_checkpoint_roundtrip(self, tmp_path):
+        path = tmp_path / "backend.jsonl"
+        backend = BatchedBackend(processes=2, checkpoint=path)
+        first = backend.run_many(healthy_jobs())
+        again = backend.run_many(healthy_jobs())
+        assert as_verdicts(first) == as_verdicts(again)
+        assert len(path.read_text().splitlines()) == len(healthy_jobs())
