@@ -23,6 +23,7 @@ bench-smoke:
 	$(PY) benchmarks/bench_engine.py --quick
 	$(PY) benchmarks/bench_gathering.py --quick
 	$(PY) benchmarks/bench_lowering.py --quick
+	$(PY) benchmarks/bench_kernel.py --quick
 
 # Full-size engine-backend benchmark (the numbers quoted in the README).
 bench-engine:
@@ -34,7 +35,9 @@ check-regression:
 	cp BENCH_engine.json $(BENCH_BASELINE)
 	$(MAKE) bench-smoke
 	$(PY) benchmarks/check_regression.py \
-	    --baseline $(BENCH_BASELINE) --current BENCH_engine.json
+	    --baseline $(BENCH_BASELINE) --current BENCH_engine.json \
+	    --require throughput --require delay_sweep \
+	    --require lowering --require kernel
 
 # Golden row-level drift gate, exactly as CI runs it: re-run the golden
 # scenarios and `scenarios diff` them against the checked-in goldens.

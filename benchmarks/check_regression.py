@@ -15,12 +15,21 @@ present on one side only are reported but never fail the gate: quick-mode
 refreshes legitimately carry different instance sizes than a full run,
 but their section structure is identical.
 
+``--require <section>`` (repeatable) registers a top-level section that
+must exist non-empty in the current file — a benchmark silently dropping
+out of ``bench-smoke`` would otherwise read as "no regression" (its
+timings land on the never-fatal "only in baseline" path).  The Makefile
+requires every recorded section (throughput, delay_sweep, lowering,
+kernel).
+
 Usage (what ``make check-regression`` and the CI job run)::
 
     python benchmarks/check_regression.py \
-        --baseline /tmp/BENCH_engine.baseline.json --current BENCH_engine.json
+        --baseline /tmp/BENCH_engine.baseline.json --current BENCH_engine.json \
+        --require kernel --require lowering
 
-Exit status: 0 = within tolerance, 1 = regression, 2 = unusable inputs.
+Exit status: 0 = within tolerance, 1 = regression or missing required
+section, 2 = unusable inputs.
 """
 
 from __future__ import annotations
@@ -95,11 +104,16 @@ def main(argv=None) -> int:
     parser.add_argument("--floor", type=float, default=DEFAULT_FLOOR,
                         help="baseline floor in seconds for jitter-dominated "
                              f"micro-timings (default {DEFAULT_FLOOR})")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="SECTION",
+                        help="top-level section that must exist non-empty "
+                             "in the current file (repeatable)")
     args = parser.parse_args(argv)
 
     try:
         baseline = collect_timings(json.loads(args.baseline.read_text()))
-        current = collect_timings(json.loads(args.current.read_text()))
+        current_payload = json.loads(args.current.read_text())
+        current = collect_timings(current_payload)
     except (OSError, ValueError) as exc:
         print(f"check_regression: cannot read inputs: {exc}", file=sys.stderr)
         return 2
@@ -107,6 +121,15 @@ def main(argv=None) -> int:
         print(f"check_regression: no *_seconds timings in {args.baseline}",
               file=sys.stderr)
         return 2
+
+    missing = [
+        section for section in args.require
+        if not current_payload.get(section)
+    ]
+    if missing:
+        print("required section(s) missing from "
+              f"{args.current}: {', '.join(missing)}")
+        return 1
 
     regressions, notes = compare(
         baseline, current, tolerance=args.tolerance, floor=args.floor

@@ -1,7 +1,27 @@
-"""Legacy shim: this environment's setuptools predates PEP 660 editable
-installs without the `wheel` package, so editable installs go through
-`setup.py develop`. All metadata lives in pyproject.toml."""
+"""Packaging for the rendezvous-in-trees reproduction.
 
-from setuptools import setup
+This environment's setuptools predates PEP 660 editable installs
+without the `wheel` package, so editable installs go through
+`setup.py develop`; metadata therefore lives here rather than in a
+pyproject.toml.  numpy powers the vectorized sweep kernel
+(`repro.sim.kernel`) and the traced pairs batcher; both degrade to the
+dict/scalar paths when it is absent, but the declared dependency keeps
+fresh installs on the fast paths (CI pins the exact version in
+requirements-ci.txt).
+"""
 
-setup()
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-rendezvous-trees",
+    version="0.7.0",
+    description=(
+        "Reproduction of deterministic rendezvous in trees with little memory"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=[
+        "numpy>=1.24",
+    ],
+)

@@ -55,6 +55,7 @@ def verify_theorem_41(
     seed: int = 0,
     max_outer: int = 10,
     engine=None,
+    pairs_engine=None,
 ) -> ExhaustiveReport:
     """Every feasible pair of every tree up to ``max_n`` nodes must meet.
 
@@ -62,9 +63,13 @@ def verify_theorem_41(
     prototype serves the whole sweep (engines clone per run), which is
     what lets a lowering backend's trace cache decide every pair of a
     labeled tree from at most ``n`` interpreted solo runs — the step
-    that makes ``verify-small`` scale past n = 8.
+    that makes ``verify-small`` scale past n = 8.  ``pairs_engine`` (a
+    ``Backend.run_pairs``) decides each labeled tree's whole feasible
+    batch in one call instead — same instances, same per-run round
+    budget, same failure rows.
     """
     from ..core.algorithm import rendezvous_agent
+    from ..core.rendezvous import estimate_round_budget
 
     rng = random.Random(seed)
     prototype = rendezvous_agent(max_outer=max_outer)
@@ -76,17 +81,29 @@ def verify_theorem_41(
                 random_relabel(tree, rng) for _ in range(random_labelings)
             ]
             for labeled in labelings:
-                for u in range(n):
-                    for v in range(u + 1, n):
-                        if perfectly_symmetrizable(labeled, u, v):
-                            continue
-                        report.instances += 1
-                        result = solve(
-                            labeled, u, v, max_outer=max_outer,
-                            agent=prototype, engine=engine,
-                        )
-                        if not result.met:
+                feasible = [
+                    (u, v)
+                    for u in range(n)
+                    for v in range(u + 1, n)
+                    if not perfectly_symmetrizable(labeled, u, v)
+                ]
+                report.instances += len(feasible)
+                if pairs_engine is not None:
+                    budget = estimate_round_budget(labeled, max_outer)
+                    verdicts = pairs_engine(
+                        labeled, prototype, feasible, max_rounds=budget
+                    )
+                    for (u, v), verdict in zip(feasible, verdicts):
+                        if not verdict.met:
                             report.failures.append((n, u, v, labeled))
+                    continue
+                for u, v in feasible:
+                    result = solve(
+                        labeled, u, v, max_outer=max_outer,
+                        agent=prototype, engine=engine,
+                    )
+                    if not result.met:
+                        report.failures.append((n, u, v, labeled))
     return report
 
 

@@ -212,32 +212,56 @@ def success_sweep(
     seed: int = 5,
     max_outer: int = 12,
     engine=None,
+    pairs_engine=None,
 ) -> list[SweepPoint]:
     """E2: run the Thm 4.1 agent over feasible pairs of the given trees.
 
     ``engine`` (default :func:`repro.sim.run_rendezvous_fast`) routes the
     joint runs through a scenario backend; one shared prototype serves
     every point so a lowering backend can reuse traces across pairs of
-    the same tree.
+    the same tree.  ``pairs_engine`` (a ``Backend.run_pairs``) instead
+    decides each tree's whole pair batch in one call — same pair
+    selection, same per-run round budget, same row fields; the memory
+    columns stay solo-replay instrumentation either way.
     """
     from ..core.algorithm import rendezvous_agent
+    from ..core.memory import measure_memory
+    from ..core.rendezvous import estimate_round_budget
 
     rng = random.Random(seed)
     prototype = rendezvous_agent(max_outer=max_outer)
     points = []
     for tree in trees:
-        found = 0
+        selected: list[tuple[int, int]] = []
         attempts = 0
-        while found < pairs_per_tree and attempts < 60 * pairs_per_tree:
+        while len(selected) < pairs_per_tree and attempts < 60 * pairs_per_tree:
             attempts += 1
             u, v = rng.randrange(tree.n), rng.randrange(tree.n)
             if u == v or perfectly_symmetrizable(tree, u, v):
                 continue
-            found += 1
-            points.append(
+            selected.append((u, v))
+        if pairs_engine is None:
+            points.extend(
                 _solve_point(
                     tree, u, v, max_outer=max_outer,
                     engine=engine, agent=prototype,
                 )
+                for u, v in selected
             )
+            continue
+        budget = estimate_round_budget(tree, max_outer)
+        verdicts = pairs_engine(tree, prototype, selected, max_rounds=budget)
+        for (u, v), verdict in zip(selected, verdicts):
+            report = measure_memory(
+                tree, u, rendezvous_agent(max_outer=2),
+                estimate_round_budget(tree, 2),
+            )
+            points.append(SweepPoint(
+                n=tree.n,
+                leaves=tree.num_leaves,
+                met=verdict.met,
+                meeting_round=verdict.meeting_round or -1,
+                bits_declared=report.declared,
+                bits_used=report.used,
+            ))
     return points

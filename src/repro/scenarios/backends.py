@@ -11,7 +11,10 @@ Every rendezvous or gathering run a scenario performs goes through a
   agents (:mod:`repro.sim.compiled` / :mod:`repro.sim.multi`), Brent
   certification, and the batched product-configuration-graph solvers for
   delay sweeps (:func:`repro.sim.compiled.solve_all_delays`) and
-  gathering grids (:func:`repro.sim.gathering_solver.solve_gathering`);
+  gathering grids (:func:`repro.sim.gathering_solver.solve_gathering`) —
+  dispatched through the vectorized frontier kernel
+  (:mod:`repro.sim.kernel`) when it applies, with those dict solvers as
+  the oracle fallback;
   register programs become compiled-backend citizens through *lowering*
   (:mod:`repro.sim.traced`): per-run execution replays shared solo
   traces, and the exact sweeps roll lassoed traces into per-(tree,
@@ -64,11 +67,10 @@ from ..sim.compiled import (
     DelayVerdict,
     run_rendezvous_compiled,
     run_rendezvous_fast,
-    solve_all_delays,
     supports_compilation,
 )
 from ..sim.engine import RendezvousOutcome, run_rendezvous
-from ..sim.gathering_solver import GatheringVerdict, solve_gathering
+from ..sim.gathering_solver import GatheringVerdict
 from ..sim.multi import (
     GatheringOutcome,
     run_gathering,
@@ -80,8 +82,17 @@ from ..sim.supervise import (
     run_batch_supervised,
     run_gathering_batch_supervised,
 )
+from ..sim.kernel import (
+    KernelUnsupported,
+    PairVerdict,
+    kernel_available,
+    run_pairs_kernel,
+    solve_all_delays_auto,
+    solve_gathering_auto,
+)
 from ..sim.traced import (
     run_gathering_traced,
+    run_pairs_traced,
     run_rendezvous_traced,
     sweep_delays_traced,
     sweep_gathering_traced,
@@ -260,6 +271,29 @@ class Backend(abc.ABC):
             for vec, out in zip(delay_vectors, self.run_gathering_many(jobs))
         ]
 
+    def run_pairs(
+        self,
+        tree: Tree,
+        prototype: AgentBase,
+        pairs: Sequence[tuple[int, int]],
+        *,
+        max_rounds: int,
+    ) -> list[PairVerdict]:
+        """Decide delay-0 rendezvous for many start pairs on one tree.
+
+        The grid executors (success sweeps, exhaustive verification) use
+        this instead of per-pair :meth:`run` calls.  The default
+        implementation *is* that per-pair loop — verdict parity by
+        construction; the compiled/auto backends override it with the
+        batched frontier paths (the vectorized successor-table kernel
+        for automata, shared-trace windows for register programs).
+        """
+        out = []
+        for u, v in pairs:
+            o = self.run(tree, prototype, u, v, delay=0, max_rounds=max_rounds)
+            out.append(PairVerdict(o.met, o.meeting_round, bool(o.certified_never)))
+        return out
+
 
 def _lowered_for_faults(prototype: AgentBase, tree: Tree):
     """Lower a register program to an explicit automaton for faulted
@@ -311,7 +345,8 @@ def _sweep_delays_exact(
                 )
                 return sweep_delays_traced(
                     tree, prototype, start1, start2,
-                    max_delay=max_delay, sides=tuple(sides), **kwargs,
+                    max_delay=max_delay, sides=tuple(sides),
+                    solver=solve_all_delays_auto, **kwargs,
                 )
             except (BudgetExceededError, LoweringError):
                 return degrade()
@@ -321,12 +356,12 @@ def _sweep_delays_exact(
             return degrade()
     extra = {} if faults is None else {"faults": faults}
     if max_rounds is None:
-        return solve_all_delays(
+        return solve_all_delays_auto(
             tree, solver_proto, start1, start2,
             max_delay=max_delay, delayed_sides=tuple(sides), **extra,
         )
     try:
-        return solve_all_delays(
+        return solve_all_delays_auto(
             tree, solver_proto, start1, start2,
             max_delay=max_delay, delayed_sides=tuple(sides),
             max_configs=max_rounds, **extra,
@@ -353,7 +388,8 @@ def _sweep_gathering_exact(
                     trace_budget=max_rounds, max_configs=max_rounds
                 )
                 return sweep_gathering_traced(
-                    tree, prototype, starts, delay_vectors, **kwargs
+                    tree, prototype, starts, delay_vectors,
+                    solver=solve_gathering_auto, **kwargs,
                 )
             except (BudgetExceededError, LoweringError):
                 return degrade()
@@ -363,14 +399,40 @@ def _sweep_gathering_exact(
             return degrade()
     extra = {} if faults is None else {"faults": faults}
     if max_rounds is None:
-        return solve_gathering(tree, solver_proto, starts, delay_vectors, **extra)
+        return solve_gathering_auto(
+            tree, solver_proto, starts, delay_vectors, **extra
+        )
     try:
-        return solve_gathering(
+        return solve_gathering_auto(
             tree, solver_proto, starts, delay_vectors,
             max_configs=max_rounds, **extra,
         )
     except BudgetExceededError:
         return degrade()
+
+
+def _run_pairs_fast(
+    backend: Backend, tree, prototype, pairs, max_rounds
+) -> list[PairVerdict]:
+    """Batched delay-0 dispatch shared by the compiled and auto backends.
+
+    Automata ride the vectorized successor-table kernel (falling back to
+    the per-pair compiled loop when the kernel is unavailable or punts);
+    register programs ride the shared-trace window scan; anything else
+    gets the base per-pair loop, whose honesty is the backend's own
+    ``run`` dispatch.
+    """
+    kind = supports_compilation(prototype)
+    if kind == "lowerable":
+        return run_pairs_traced(tree, prototype, pairs, max_rounds=max_rounds)
+    if kind == "native" and kernel_available():
+        try:
+            return run_pairs_kernel(tree, prototype, pairs, max_rounds=max_rounds)
+        except (KernelUnsupported, BudgetExceededError):
+            pass
+    return Backend.run_pairs(
+        backend, tree, prototype, pairs, max_rounds=max_rounds
+    )
 
 
 class ReferenceBackend(Backend):
@@ -437,6 +499,9 @@ class CompiledBackend(Backend):
             self, tree, prototype, starts, delay_vectors, max_rounds, faults
         )
 
+    def run_pairs(self, tree, prototype, pairs, *, max_rounds):
+        return _run_pairs_fast(self, tree, prototype, pairs, max_rounds)
+
 
 class AutoBackend(Backend):
     """Per-call selection: compiled for automata, traced lowering for
@@ -481,6 +546,9 @@ class AutoBackend(Backend):
             tree, prototype, starts, delay_vectors, max_rounds=max_rounds,
             faults=faults,
         )
+
+    def run_pairs(self, tree, prototype, pairs, *, max_rounds):
+        return _run_pairs_fast(self, tree, prototype, pairs, max_rounds)
 
 
 class BatchedBackend(AutoBackend):

@@ -484,6 +484,7 @@ def _success_families(spec: ScenarioSpec, backend: Backend, rng: random.Random):
             trees, pairs_per_tree=pairs_per_tree,
             seed=derive_seed(spec.seed, family, "pairs"),
             engine=backend.run,
+            pairs_engine=backend.run_pairs,
         )
         met = sum(p.met for p in points)
         all_ok &= met == len(points)
@@ -676,6 +677,7 @@ def _exhaustive_verify(spec: ScenarioSpec, backend: Backend, rng: random.Random)
         random_labelings=spec.param("labelings", 1),
         seed=spec.seed,
         engine=backend.run,
+        pairs_engine=backend.run_pairs,
     )
     rep2 = verify_fact_11_impossibility(
         max_n=min(max_n, spec.param("fact11_max_n", 6)),

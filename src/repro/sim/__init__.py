@@ -5,7 +5,9 @@ Interchangeable backends execute rendezvous runs:
 - :func:`run_rendezvous` — the readable reference engine (the oracle);
 - :func:`run_rendezvous_compiled` — the table-driven backend for
   finite-state agents, with :func:`solve_all_delays` deciding a whole
-  delay sweep in one pass;
+  delay sweep in one pass — and the vectorized frontier kernel
+  (:mod:`repro.sim.kernel`) advancing every undecided adversary choice
+  of a sweep or pair grid per numpy gather, dict solvers as oracle;
 - :func:`run_rendezvous_traced` — the lowering backend for register
   programs (:mod:`repro.sim.traced`): shared per-(tree, start) solo
   traces replayed against each other, with :func:`sweep_delays_traced`
@@ -61,6 +63,18 @@ from .faults import (
     solve_gathering_faulted,
 )
 from .gathering_solver import GatheringVerdict, solve_gathering
+from .kernel import (
+    AgentTable,
+    PairVerdict,
+    agent_table,
+    kernel_available,
+    run_pairs_kernel,
+    solve_all_delays_auto,
+    solve_all_delays_kernel,
+    solve_delay_grid_kernel,
+    solve_gathering_auto,
+    solve_gathering_kernel,
+)
 from .supervise import (
     JobFailure,
     SweepCheckpoint,
@@ -75,6 +89,7 @@ from .traced import (
     TracedAutomaton,
     ensure_lasso,
     run_gathering_traced,
+    run_pairs_traced,
     run_rendezvous_traced,
     solo_trace,
     sweep_delays_traced,
@@ -137,8 +152,19 @@ __all__ = [
     "traced_automaton",
     "run_rendezvous_traced",
     "run_gathering_traced",
+    "run_pairs_traced",
     "sweep_delays_traced",
     "sweep_gathering_traced",
+    "AgentTable",
+    "PairVerdict",
+    "agent_table",
+    "kernel_available",
+    "run_pairs_kernel",
+    "solve_all_delays_kernel",
+    "solve_all_delays_auto",
+    "solve_delay_grid_kernel",
+    "solve_gathering_kernel",
+    "solve_gathering_auto",
     "Trace",
     "RoundRecord",
     "adversarial_search",

@@ -555,6 +555,10 @@ def solve_all_delays(
 
         # Solo prefix of the non-delayed agent: configs after rounds
         # 1..max_delay, and the first round it steps onto the sleeper.
+        # Every θ >= first_hit is decided the moment the runner lands on
+        # the sleeper, and the undecided θ < first_hit only enter from
+        # solo[θ - 1], so the walk stops at first_hit instead of always
+        # paying the full max_delay rounds.
         solo: list[tuple[int, int, int]] = []
         first_hit: Optional[int] = None
         pos, st, ip = runner_start, s0_r, 0
@@ -565,11 +569,13 @@ def solve_all_delays(
         solo.append((pos, st, ip))
         if pos == sleeper_start:
             first_hit = 1
-        for t in range(2, max_delay + 1):
-            pos, st, ip = step_r(pos, st, ip)
-            solo.append((pos, st, ip))
-            if first_hit is None and pos == sleeper_start:
-                first_hit = t
+        else:
+            for t in range(2, max_delay + 1):
+                pos, st, ip = step_r(pos, st, ip)
+                solo.append((pos, st, ip))
+                if pos == sleeper_start:
+                    first_hit = t
+                    break
 
         for theta in range(first_theta, max_delay + 1):
             if first_hit is not None and theta >= first_hit:

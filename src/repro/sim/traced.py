@@ -49,6 +49,7 @@ same solo-determinism argument.
 
 from __future__ import annotations
 
+from math import lcm
 from typing import Optional, Sequence
 
 try:  # optional accelerator for the chunked scans (never required)
@@ -79,6 +80,7 @@ __all__ = [
     "TracedAutomaton",
     "run_rendezvous_traced",
     "run_gathering_traced",
+    "run_pairs_traced",
     "sweep_delays_traced",
     "sweep_gathering_traced",
 ]
@@ -1005,12 +1007,15 @@ def sweep_delays_traced(
     trace_budget: int = DEFAULT_TRACE_BUDGET,
     max_configs: int = 4_000_000,
     cache: bool = True,
+    solver=None,
 ) -> list[DelayVerdict]:
     """Decide a whole delay sweep for a register program, exactly.
 
     Both starts' solo traces are lassoed once and rolled into
     per-(tree, start) automata; the batched product-configuration solver
     then decides every (θ, delayed side) choice over those tables.
+    ``solver`` substitutes a :func:`~repro.sim.compiled.solve_all_delays`
+    drop-in (the backends pass the kernel auto-dispatcher here).
     Raises :class:`~repro.errors.BudgetExceededError` (no lasso within
     ``trace_budget``, or solver guard) or
     :class:`~repro.errors.LoweringError` — callers degrade to budgeted
@@ -1031,7 +1036,8 @@ def sweep_delays_traced(
     a2 = lasso_automaton(
         solo_trace(tree, prototype, start2, cache=cache), trace_budget
     )
-    return solve_all_delays(
+    solve = solver if solver is not None else solve_all_delays
+    return solve(
         tree, a1, start1, start2,
         max_delay=max_delay, delayed_sides=tuple(sides),
         max_configs=max_configs, prototype2=a2,
@@ -1047,15 +1053,144 @@ def sweep_gathering_traced(
     trace_budget: int = DEFAULT_TRACE_BUDGET,
     max_configs: int = 4_000_000,
     cache: bool = True,
+    solver=None,
 ) -> list[GatheringVerdict]:
     """Decide a whole gathering grid for a register program, exactly
-    (cf. :func:`sweep_delays_traced`)."""
+    (cf. :func:`sweep_delays_traced`; ``solver`` substitutes a
+    :func:`~repro.sim.gathering_solver.solve_gathering` drop-in)."""
     starts = list(starts)
     automata = [
         lasso_automaton(solo_trace(tree, prototype, s, cache=cache), trace_budget)
         for s in starts
     ]
-    return solve_gathering(
+    solve = solver if solver is not None else solve_gathering
+    return solve(
         tree, automata[0], starts, delay_vectors,
         max_configs=max_configs, prototypes=automata,
     )
+
+
+# ----------------------------------------------------------------------
+# Batched delay-0 pairs over shared traces
+# ----------------------------------------------------------------------
+
+
+def _trace_window(trace: SoloTrace, lo: int, hi: int):
+    """Positions after rounds ``lo..hi`` as a numpy column (raw recorded
+    slice while available, folded fancy-index once the trace lassos)."""
+    if trace.status == ACTIVE and len(trace.actions) < hi:
+        trace.extend(hi)
+    m = len(trace.actions)
+    if m >= hi:
+        return _np.asarray(trace.positions[lo:hi + 1], dtype=_np.int64)
+    t_idx = _np.arange(lo, hi + 1, dtype=_np.int64)
+    if trace.status == FINISHED:
+        idx = _np.minimum(t_idx, m)
+    else:  # CYCLED: SoloTrace.fold, vectorized
+        c, lam = trace.cycle_start, trace.cycle_len
+        idx = _np.where(t_idx <= m, t_idx, c + ((t_idx - c - 1) % lam) + 1)
+    return _np.asarray(trace.positions, dtype=_np.int64)[idx]
+
+
+def _never_horizon(t1: SoloTrace, t2: SoloTrace) -> Optional[int]:
+    """Round past which a meeting can no longer first occur, or ``None``
+    while either trace is still active.
+
+    Both position sequences are eventually periodic (constant for a
+    finished trace), so the joint sequence repeats with period
+    ``lcm(λ1, λ2)`` beyond both recorded prefixes: scanning one full
+    joint period past them without a meeting certifies *never*.
+    """
+    if t1.status == ACTIVE or t2.status == ACTIVE:
+        return None
+    periods = [
+        1 if tr.status == FINISHED else tr.cycle_len for tr in (t1, t2)
+    ]
+    return max(len(t1.actions), len(t2.actions)) + lcm(*periods)
+
+
+def run_pairs_traced(
+    tree: Tree,
+    prototype: AgentBase,
+    pairs: Sequence[tuple[int, int]],
+    *,
+    max_rounds: int,
+    cache: bool = True,
+):
+    """Decide delay-0 rendezvous for many start pairs over shared traces.
+
+    The grid workloads (success sweeps, exhaustive verification) re-use
+    few distinct starts across many pairs, so each distinct start's solo
+    trace is recorded once and all pairs compare position *columns* of a
+    shared window matrix per chunk — the meeting scan for the whole
+    batch is one vectorized equality per window.  Returns
+    :class:`~repro.sim.kernel.PairVerdict` rows with the engines' parity
+    contract (``met`` iff the first meeting round is ``<= max_rounds``;
+    a pair whose traces both lassoed is certified *never* once a full
+    joint period beyond their prefixes has been scanned without a
+    meeting).
+    """
+    from .kernel import PairVerdict
+
+    for u, v in pairs:
+        if not (0 <= u < tree.n and 0 <= v < tree.n):
+            raise SimulationError("start nodes outside the tree")
+
+    verdicts: list[Optional[PairVerdict]] = [None] * len(pairs)
+    traces: dict[int, SoloTrace] = {}
+    live: list[tuple[int, SoloTrace, SoloTrace]] = []
+    for j, (u, v) in enumerate(pairs):
+        if u == v:
+            verdicts[j] = PairVerdict(True, 0, False)
+            continue
+        for s in (u, v):
+            if s not in traces:
+                traces[s] = solo_trace(tree, prototype, s, cache=cache)
+        live.append((j, traces[u], traces[v]))
+
+    if _np is None:  # scalar fallback: same verdicts, pair at a time
+        for j, t1, t2 in live:
+            out = _run_delay0_fast(prototype, t1, t2, max_rounds, True)
+            verdicts[j] = PairVerdict(out.met, out.meeting_round, out.certified_never)
+        return verdicts
+
+    lo = 1
+    chunk = 256
+    while live and lo <= max_rounds:
+        hi = min(max_rounds, lo + chunk - 1)
+        chunk = min(chunk << 1, 65536)
+        row_of: dict[int, int] = {}
+        cols = []
+        for _j, t1, t2 in live:
+            for tr in (t1, t2):
+                if id(tr) not in row_of:
+                    row_of[id(tr)] = len(cols)
+                    cols.append(_trace_window(tr, lo, hi))
+        colmat = _np.stack(cols)
+        i1 = _np.fromiter(
+            (row_of[id(t1)] for _j, t1, _t2 in live),
+            dtype=_np.int64, count=len(live),
+        )
+        i2 = _np.fromiter(
+            (row_of[id(t2)] for _j, _t1, t2 in live),
+            dtype=_np.int64, count=len(live),
+        )
+        eq = colmat[i1] == colmat[i2]
+        met_row = eq.any(axis=1)
+        first = eq.argmax(axis=1)
+        still: list[tuple[int, SoloTrace, SoloTrace]] = []
+        for r, (j, t1, t2) in enumerate(live):
+            if met_row[r]:
+                verdicts[j] = PairVerdict(True, lo + int(first[r]), False)
+                continue
+            horizon = _never_horizon(t1, t2)
+            if horizon is not None and hi >= horizon:
+                verdicts[j] = PairVerdict(False, None, True)
+            else:
+                still.append((j, t1, t2))
+        live = still
+        lo = hi + 1
+
+    for j, _t1, _t2 in live:  # budget exhausted, nothing certified
+        verdicts[j] = PairVerdict(False, None, False)
+    return verdicts

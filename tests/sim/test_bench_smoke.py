@@ -86,6 +86,39 @@ def test_bench_lowering_quick_records_speedup(tmp_path):
     assert (tmp_path / "verify-small.json").exists()
 
 
+def load_bench_kernel():
+    path = REPO_ROOT / "benchmarks" / "bench_kernel.py"
+    spec = importlib.util.spec_from_file_location("bench_kernel", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["bench_kernel"] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.bench_smoke
+def test_bench_kernel_quick_records_speedup(tmp_path):
+    # Quick mode sweeps the QUICK_FAMILIES subset of the success
+    # families grid through the frontier kernel and merges a "kernel"
+    # section into BENCH_engine.json (in tmp_path — the versioned file
+    # is refreshed only by `make bench-smoke`).
+    section = load_bench_kernel().main(quick=True, out_dir=tmp_path)
+
+    on_disk = json.loads((tmp_path / "BENCH_engine.json").read_text())
+    assert on_disk["kernel"]["success_families_grid"]["pairs"] > 0
+
+    grid = section["success_families_grid"]
+    # Correctness gates hard; the wall-clock ratio gates loosely (CI
+    # boxes are noisy — the honest >= 5x bar lives in the recorded JSON
+    # from the full `benchmarks/bench_kernel.py` run).
+    assert grid["verdicts_match"], "kernel grid diverged from the dict solver"
+    assert grid["reference_match"], "kernel grid diverged from the reference"
+    assert grid["speedup"] >= 3
+    sweep = section["sweep_511"]
+    assert sweep["verdicts_match"], "kernel sweep diverged"
+    cache = section["table_cache"]
+    assert cache["tables"] > 0 and cache["entries"] > 0
+
+
 @pytest.mark.bench_smoke
 def test_bench_gathering_quick_emits_result(tmp_path):
     # Quick mode runs the first gathering grid and persists its

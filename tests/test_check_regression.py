@@ -96,3 +96,27 @@ class TestRegressionGate:
         baseline = scaled_copy(tmp_path, 0.5)  # current looks 2x slower
         proc = run_gate(baseline, BENCH, "--tolerance", str(tolerance))
         assert proc.returncode == expect, proc.stdout + proc.stderr
+
+    def test_required_sections_present_in_committed_bench(self):
+        # the Makefile's section registration, against the real file
+        proc = run_gate(BENCH, BENCH,
+                        "--require", "throughput", "--require", "delay_sweep",
+                        "--require", "lowering", "--require", "kernel")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_missing_required_section_fails(self, tmp_path):
+        payload = json.loads(BENCH.read_text())
+        payload.pop("kernel")
+        cur = tmp_path / "cur.json"
+        cur.write_text(json.dumps(payload))
+        proc = run_gate(BENCH, cur, "--require", "kernel")
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+        assert "kernel" in proc.stdout
+
+    def test_required_section_emptied_fails(self, tmp_path):
+        payload = json.loads(BENCH.read_text())
+        payload["kernel"] = {}
+        cur = tmp_path / "cur.json"
+        cur.write_text(json.dumps(payload))
+        proc = run_gate(BENCH, cur, "--require", "kernel")
+        assert proc.returncode == 1, proc.stdout + proc.stderr
