@@ -6,8 +6,8 @@ GOLDEN_SCENARIOS := verify-small gathering-line-k3 thm31-sweep atlas-programs \
 FAULT_TMP := /tmp/repro-fault-smoke
 FAULT_SCENARIOS := rendezvous-relabel-line gathering-crash-k3
 
-.PHONY: test lint bench-smoke bench-engine scenarios-smoke bench-scenarios \
-        check-regression golden-diff fault-smoke
+.PHONY: test lint lint-invariants bench-smoke bench-engine scenarios-smoke \
+        bench-scenarios check-regression golden-diff fault-smoke
 
 test:
 	$(PY) -m pytest -x -q
@@ -16,6 +16,11 @@ test:
 # (install the pinned toolchain with: pip install -r requirements-ci.txt).
 lint:
 	ruff check src tests benchmarks
+
+# The cross-layer invariant gate (RPR001-RPR006), exactly as CI runs it.
+# Pure stdlib: needs nothing beyond the interpreter.
+lint-invariants:
+	$(PY) -m repro.lint src --format json
 
 # Quick benchmark smokes: refresh BENCH_engine.json (engine + lowering
 # sections) and the first gathering grid's JSON result in seconds.

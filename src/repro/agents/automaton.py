@@ -181,7 +181,7 @@ def random_line_automaton(
     Useful to populate the memory-vs-defeating-instance curves with agents
     that have no special structure.
     """
-    rng = rng or random.Random()
+    rng = rng or random.Random()  # repro-lint: disable=RPR003 -- documented convenience default: callers needing reproducibility pass a seeded Random; every solver/scenario path does
     table = [
         (rng.randrange(num_states), rng.randrange(num_states)) for _ in range(num_states)
     ]

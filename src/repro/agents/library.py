@@ -173,7 +173,7 @@ def random_tree_automaton(
     outputs are ``STAY`` with probability ``stay_prob``, else a random port
     index in ``0 .. max_degree - 1`` (applied mod the local degree).
     """
-    rng = rng or random.Random()
+    rng = rng or random.Random()  # repro-lint: disable=RPR003 -- documented convenience default: callers needing reproducibility pass a seeded Random; every solver/scenario path does
     table: dict[tuple[int, int, int], int] = {}
     for s in range(num_states):
         for in_port in range(-1, max_degree):

@@ -1,0 +1,43 @@
+"""``repro.lint`` — the AST-based invariant analyzer for this repo.
+
+The engine's certified claims (never-meeting, never-gathering, Thm 3.1
+defeats) rest on cross-layer *code* contracts that no runtime test can
+see from the outside: ``faults=`` must thread through every engine entry
+point, degrade exceptions may only be absorbed at the dispatch seams,
+solver paths must be deterministic, batch payloads picklable, kernel
+allocations dtype-explicit, and backends protocol-complete.  This
+package certifies those contracts statically on every commit:
+
+- :mod:`.framework` — findings, suppression comments, the analyzer;
+- :mod:`.callgraph` — a package-level call graph for threading rules;
+- :mod:`.rules`     — the RPR001–RPR006 invariant rules (+ RPR000 for
+  malformed suppressions); allowlists are data on the rule classes;
+- :mod:`.report`    — text and JSON reporters
+  (schema ``repro.lint-report/v1``);
+- :mod:`.cli`       — ``python -m repro.lint [paths]`` /
+  ``repro lint-invariants``.
+
+A finding is silenced with an inline comment carrying a mandatory
+reason::
+
+    risky_thing()  # repro-lint: disable=RPR003 -- why this is deliberate
+
+The comment may also stand alone on the line above the flagged one.  A
+suppression without a reason (or naming an unknown code) is itself a
+finding (RPR000).
+"""
+
+from .framework import Analyzer, Finding, LintError, SourceFile
+from .report import render_json, render_text
+from .rules import ALL_RULES, rule_table
+
+__all__ = [
+    "Analyzer",
+    "Finding",
+    "LintError",
+    "SourceFile",
+    "ALL_RULES",
+    "rule_table",
+    "render_text",
+    "render_json",
+]

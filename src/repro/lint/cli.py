@@ -1,0 +1,63 @@
+"""``python -m repro.lint [paths]`` — the invariant gate's entry point.
+
+Exit codes: 0 clean, 1 findings, 2 usage error.  Pure stdlib; safe to
+run in CI without installing anything beyond the interpreter.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .framework import Analyzer, LintError
+from .report import render_json, render_text
+from .rules import default_rules, rule_table
+
+__all__ = ["main"]
+
+
+def _parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro.lint",
+        description=(
+            "AST-based invariant analyzer certifying the engine's "
+            "cross-layer contracts (RPR001-RPR006)."
+        ),
+    )
+    p.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    p.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (json follows repro.lint-report/v1)",
+    )
+    p.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule table and exit",
+    )
+    return p
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _parser().parse_args(argv)
+    if args.list_rules:
+        for code, name, contract in rule_table():
+            print(f"{code}  {name:<20} {contract}")
+        return 0
+    analyzer = Analyzer(default_rules())
+    try:
+        findings, files = analyzer.run(args.paths)
+    except LintError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(render_json(findings, len(files), args.paths))
+    else:
+        print(render_text(findings, len(files)))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,309 @@
+"""Core machinery: findings, suppression comments, file loading, the
+analyzer driver.
+
+Design notes
+------------
+- **Stable codes.**  Every rule owns one ``RPR0xx`` code; reporters and
+  suppression comments speak codes, never class names, so renaming a
+  rule class cannot silently orphan a suppression.
+- **Suppressions are audited.**  ``# repro-lint: disable=RPR0xx -- why``
+  requires the reason; a reasonless or unknown-code suppression is
+  reported as RPR000 instead of being honored.  A suppression that sits
+  alone on a line applies to the next source line (for statements too
+  long to share a line with their justification).
+- **Two rule shapes.**  :class:`FileRule` is an ``ast.NodeVisitor`` run
+  per file; :class:`ProjectRule` sees every file at once (the
+  fault-threading call-graph rule needs whole-package visibility).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence
+
+__all__ = [
+    "LintError",
+    "Finding",
+    "Suppression",
+    "SourceFile",
+    "FileRule",
+    "ProjectRule",
+    "Analyzer",
+]
+
+#: The one code the framework itself owns: malformed suppression
+#: comments and unparseable files.
+FRAMEWORK_CODE = "RPR000"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<codes>[A-Za-z0-9,\s]*?)"
+    r"(?:\s*--\s*(?P<reason>.*))?$"
+)
+_CODE_RE = re.compile(r"^RPR\d{3}$")
+
+
+class LintError(Exception):
+    """Analyzer misuse (bad path, no files) — exit code 2, not a finding."""
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One contract violation at one source location."""
+
+    code: str
+    rule: str
+    message: str
+    path: str
+    line: int
+    col: int
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.code)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+@dataclass(frozen=True, slots=True)
+class Suppression:
+    """A parsed ``# repro-lint: disable=...`` comment."""
+
+    line: int
+    codes: frozenset[str]
+    reason: str
+    standalone: bool  # comment is the whole line -> also covers line + 1
+
+
+@dataclass
+class SourceFile:
+    """One parsed module plus everything the rules need to know about it."""
+
+    path: Path
+    display: str  # path as reported (posix, as given on the CLI)
+    module: str  # dotted module name, best-effort (see Analyzer._module_name)
+    text: str
+    tree: ast.Module
+    suppressions: list[Suppression] = field(default_factory=list)
+
+    def matches(self, suffix: str) -> bool:
+        """Path predicate used by rule allowlists.
+
+        ``suffix`` ending in ``/`` means "anywhere under a directory of
+        that name" (e.g. ``benchmarks/``); otherwise it is a file path
+        suffix match on whole segments (``sim/kernel.py`` matches
+        ``src/repro/sim/kernel.py`` but not ``sim/notkernel.py``).
+        """
+        posix = self.display
+        if suffix.endswith("/"):
+            name = suffix.rstrip("/")
+            parts = Path(posix).parts
+            return name in parts[:-1]
+        return posix == suffix or posix.endswith("/" + suffix)
+
+    def suppressed_codes(self, line: int) -> frozenset[str]:
+        """Codes silenced (with a valid reason) at ``line``."""
+        out: set[str] = set()
+        for sup in self.suppressions:
+            if not sup.reason:
+                continue  # reasonless suppressions are findings, not filters
+            if sup.line == line or (sup.standalone and sup.line + 1 == line):
+                out.update(sup.codes)
+        return frozenset(out)
+
+
+def _parse_suppressions(text: str) -> tuple[list[Suppression], list[tuple[int, str]]]:
+    """Extract suppression comments via the token stream.
+
+    Returns ``(suppressions, problems)`` where problems are
+    ``(line, message)`` pairs for malformed comments — tokenizing (not
+    regex-over-lines) keeps ``#`` inside string literals from parsing as
+    comments.
+    """
+    sups: list[Suppression] = []
+    problems: list[tuple[int, str]] = []
+    lines = text.splitlines()
+    it = iter(line + "\n" for line in lines)
+    try:
+        tokens = list(tokenize.generate_tokens(lambda: next(it, "")))
+    except (tokenize.TokenError, IndentationError):
+        tokens = []  # unparseable files are reported via parse_error instead
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT or "repro-lint" not in tok.string:
+            continue
+        line_no = tok.start[0]
+        m = _SUPPRESS_RE.search(tok.string)
+        if m is None:
+            problems.append(
+                (line_no, "unrecognized repro-lint comment (expected "
+                          "'# repro-lint: disable=RPR0xx -- reason')")
+            )
+            continue
+        codes = frozenset(c.strip() for c in m.group("codes").split(",") if c.strip())
+        reason = (m.group("reason") or "").strip()
+        bad = sorted(c for c in codes if not _CODE_RE.match(c))
+        if not codes:
+            problems.append((line_no, "suppression lists no rule codes"))
+            continue
+        if bad:
+            problems.append(
+                (line_no, f"suppression names unknown code(s): {', '.join(bad)}")
+            )
+            continue
+        if not reason:
+            problems.append(
+                (line_no,
+                 f"suppression of {', '.join(sorted(codes))} has no reason "
+                 "(append ' -- <why this is deliberate>')")
+            )
+            # fall through: recorded reasonless so rules still fire
+        standalone = lines[line_no - 1].strip().startswith("#")
+        sups.append(Suppression(line_no, codes, reason, standalone))
+    return sups, problems
+
+
+class FileRule(ast.NodeVisitor):
+    """A per-file rule.  Subclasses set ``code``/``name``/``contract``
+    and implement ``visit_*`` methods calling :meth:`finding`."""
+
+    code: str = "RPR0XX"
+    name: str = "unnamed"
+    contract: str = ""
+
+    def __init__(self) -> None:
+        self.sf: Optional[SourceFile] = None
+        self.findings: list[Finding] = []
+        self._func_stack: list[ast.AST] = []
+
+    def finding(self, node: ast.AST, message: str) -> None:
+        assert self.sf is not None
+        self.findings.append(
+            Finding(self.code, self.name, message, self.sf.display,
+                    getattr(node, "lineno", 1), getattr(node, "col_offset", 0))
+        )
+
+    def check_file(self, sf: SourceFile) -> list[Finding]:
+        self.sf = sf
+        self.findings = []
+        self._func_stack = []
+        self.visit(sf.tree)
+        return self.findings
+
+    # Function-stack bookkeeping shared by every rule that cares about
+    # the enclosing callable.
+    def visit_FunctionDef(self, node):  # noqa: N802 - ast visitor API
+        self._func_stack.append(node)
+        self.generic_visit(node)
+        self._func_stack.pop()
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    @property
+    def enclosing_function(self) -> Optional[ast.AST]:
+        return self._func_stack[-1] if self._func_stack else None
+
+
+class ProjectRule:
+    """A whole-project rule: sees every file in one call."""
+
+    code: str = "RPR0XX"
+    name: str = "unnamed"
+    contract: str = ""
+
+    def check_project(self, files: Sequence[SourceFile]) -> list[Finding]:
+        raise NotImplementedError
+
+
+class Analyzer:
+    """Load files, run rules, filter suppressions, audit the comments."""
+
+    def __init__(self, rules: Sequence[object]):
+        self.rules = list(rules)
+
+    # -- file collection ------------------------------------------------
+
+    def collect(self, paths: Sequence[str]) -> list[SourceFile]:
+        files: list[SourceFile] = []
+        seen: set[Path] = set()
+        for raw in paths:
+            p = Path(raw)
+            if p.is_dir():
+                targets = sorted(p.rglob("*.py"))
+            elif p.is_file():
+                targets = [p]
+            else:
+                raise LintError(f"no such file or directory: {raw}")
+            for t in targets:
+                rp = t.resolve()
+                if rp in seen:
+                    continue
+                seen.add(rp)
+                files.append(self._load(t))
+        if not files:
+            raise LintError(f"no python files under: {', '.join(paths)}")
+        return files
+
+    @staticmethod
+    def _module_name(path: Path) -> str:
+        """Best-effort dotted module name: strip everything through a
+        ``src`` segment when present, else use the path as given."""
+        parts = list(path.with_suffix("").parts)
+        if "src" in parts:
+            parts = parts[parts.index("src") + 1:]
+        if parts and parts[-1] == "__init__":
+            parts = parts[:-1]
+        return ".".join(parts)
+
+    def _load(self, path: Path) -> SourceFile:
+        text = path.read_text(encoding="utf-8")
+        display = path.as_posix()
+        try:
+            tree = ast.parse(text, filename=display)
+        except SyntaxError as exc:
+            tree = ast.Module(body=[], type_ignores=[])
+            sf = SourceFile(path, display, self._module_name(path), text, tree)
+            sf.suppressions = []
+            sf.parse_error = exc  # type: ignore[attr-defined]
+            return sf
+        sf = SourceFile(path, display, self._module_name(path), text, tree)
+        sups, problems = _parse_suppressions(text)
+        sf.suppressions = sups
+        sf.comment_problems = problems  # type: ignore[attr-defined]
+        return sf
+
+    # -- running --------------------------------------------------------
+
+    def run(self, paths: Sequence[str]) -> tuple[list[Finding], list[SourceFile]]:
+        files = self.collect(paths)
+        raw: list[Finding] = []
+        for sf in files:
+            err = getattr(sf, "parse_error", None)
+            if err is not None:
+                raw.append(Finding(
+                    FRAMEWORK_CODE, "framework",
+                    f"file does not parse: {err.msg}",
+                    sf.display, err.lineno or 1, (err.offset or 1) - 1,
+                ))
+                continue
+            for line, msg in getattr(sf, "comment_problems", []):
+                raw.append(Finding(
+                    FRAMEWORK_CODE, "framework", msg, sf.display, line, 0
+                ))
+        parsed = [sf for sf in files if getattr(sf, "parse_error", None) is None]
+        for rule in self.rules:
+            if isinstance(rule, ProjectRule):
+                raw.extend(rule.check_project(parsed))
+            else:
+                for sf in parsed:
+                    raw.extend(rule.check_file(sf))  # type: ignore[union-attr]
+        by_path = {sf.display: sf for sf in files}
+        kept = [
+            f for f in raw
+            if f.code == FRAMEWORK_CODE
+            or f.code not in by_path[f.path].suppressed_codes(f.line)
+        ]
+        kept.sort(key=Finding.sort_key)
+        return kept, files

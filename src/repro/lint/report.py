@@ -1,0 +1,77 @@
+"""Finding reporters: human text and machine JSON.
+
+JSON schema (``repro.lint-report/v1``) — consumed by CI annotations::
+
+    {
+      "schema": "repro.lint-report/v1",
+      "paths": ["src"],                  # the paths as given on the CLI
+      "files": 63,                       # python files analyzed
+      "findings": [                      # sorted by (path, line, col, code)
+        {"code": "RPR005", "rule": "kernel-dtype",
+         "path": "src/repro/sim/kernel.py", "line": 592, "col": 15,
+         "message": "..."}
+      ],
+      "summary": {"total": 1, "by_code": {"RPR005": 1}}
+    }
+
+The schema string is versioned exactly like the scenario results
+(``repro.scenario-result/v1``): additions bump nothing, renames or
+removals bump the suffix.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Sequence
+
+from .framework import Finding
+
+__all__ = ["SCHEMA", "render_text", "render_json"]
+
+SCHEMA = "repro.lint-report/v1"
+
+
+def render_text(
+    findings: Sequence[Finding], files_analyzed: int
+) -> str:
+    lines = [f.render() for f in findings]
+    if findings:
+        by_code = Counter(f.code for f in findings)
+        breakdown = ", ".join(
+            f"{code}: {n}" for code, n in sorted(by_code.items())
+        )
+        lines.append(
+            f"{len(findings)} finding(s) ({breakdown}) "
+            f"across {files_analyzed} file(s)"
+        )
+    else:
+        lines.append(f"clean: 0 findings across {files_analyzed} file(s)")
+    return "\n".join(lines)
+
+
+def render_json(
+    findings: Sequence[Finding], files_analyzed: int, paths: Sequence[str]
+) -> str:
+    by_code = Counter(f.code for f in findings)
+    doc = {
+        "schema": SCHEMA,
+        "paths": list(paths),
+        "files": files_analyzed,
+        "findings": [
+            {
+                "code": f.code,
+                "rule": f.rule,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+            }
+            for f in findings
+        ],
+        "summary": {
+            "total": len(findings),
+            "by_code": dict(sorted(by_code.items())),
+        },
+    }
+    return json.dumps(doc, indent=2, sort_keys=False)

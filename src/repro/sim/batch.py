@@ -168,6 +168,7 @@ def _picklable(jobs: Sequence) -> bool:
     try:
         pickle.dumps(list(jobs))
         return True
+    # repro-lint: disable=RPR002 -- pickling probe: "cannot pickle" is this function's False answer, whatever exception type the payload's reduce hooks raise; the serial fallback is the surfacing
     except Exception:
         return False
 

@@ -105,6 +105,7 @@ class CompiledAgent:
                 for ip in range(-1, d):
                     try:
                         s2 = automaton.transition(s, ip, d)
+                    # repro-lint: disable=RPR002 -- table-build probe over every (state, port, degree) cell: unreachable cells may raise anything; the _INVALID sentinel re-runs the automaton live so the genuine error surfaces if ever hit
                     except Exception:
                         continue  # keep the sentinel; re-raised live if hit
                     idx = (s * width + (ip + 1)) * width + d

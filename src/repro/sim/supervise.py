@@ -105,6 +105,7 @@ def job_fingerprint(index: int, job: Union[BatchJob, GatheringJob]) -> str:
     """
     try:
         blob = pickle.dumps((index, job), protocol=4)
+    # repro-lint: disable=RPR002 -- pickling probe: any unpicklable job falls back to the repr fingerprint by design; nothing is lost but cache affinity
     except Exception:
         blob = repr((index, job)).encode()
     return hashlib.sha256(blob).hexdigest()
@@ -245,6 +246,11 @@ def _worker_loop(conn, kind: str) -> None:  # pragma: no cover - child process
     the reply never drags agent objects or traces through the pipe.  A
     job exception is reported, not raised — the worker stays healthy for
     the next assignment.  ``None`` (or a closed pipe) means shut down.
+
+    ``KeyboardInterrupt`` / ``SystemExit`` are *never* absorbed into an
+    error payload: a ^C must kill the worker (non-zero exit, visible to
+    the supervisor as a death, handled by *its* own interrupt), not
+    masquerade as a retryable :class:`JobFailure`.
     """
     run_one = _run_job if kind == "rendezvous" else _run_gathering_job
     try:
@@ -255,11 +261,12 @@ def _worker_loop(conn, kind: str) -> None:  # pragma: no cover - child process
             index, attempt, job = msg
             try:
                 payload = ("ok", index, attempt, encode_outcome(run_one(job)))
+            # repro-lint: disable=RPR002 -- deliberate job-error capture: the failure is surfaced structurally as an ("error", ...) payload the supervisor turns into a JobFailure row; KeyboardInterrupt/SystemExit still propagate past Exception
             except Exception as exc:
                 payload = ("error", index, attempt, f"{type(exc).__name__}: {exc}")
             conn.send(payload)
-    except (EOFError, OSError, KeyboardInterrupt):
-        return
+    except (EOFError, OSError):
+        return  # supervisor hung up: clean shutdown
 
 
 class _Worker:
@@ -479,6 +486,7 @@ def _supervise_serial(
                 payload = encode_outcome(run_one(jobs[i]))
             except KeyboardInterrupt:
                 raise
+            # repro-lint: disable=RPR002 -- deliberate job-error capture: the failure is surfaced structurally as a JobFailure row (same contract as the pooled path); KeyboardInterrupt re-raised above, SystemExit propagates past Exception
             except Exception as exc:
                 results[i] = JobFailure(i, "error", f"{type(exc).__name__}: {exc}", 1)
                 continue

@@ -281,6 +281,7 @@ class SoloTrace:
                         last_dist = rnd
                         try:
                             key = (pos, in_port, machine_state_key(agent))
+                        # repro-lint: disable=RPR002 -- in-trace downgrade, not a verdict: an unfreezable machine state only disables cross-trace suffix sharing; the trace keeps interpreting and certification is unaffected
                         except LoweringError:
                             registry = self._registry = None
                         else:
@@ -311,6 +312,7 @@ class SoloTrace:
                     ):
                         try:
                             key = machine_state_key(agent)
+                        # repro-lint: disable=RPR002 -- in-trace downgrade, not a verdict: unfreezable state only disables Brent machine-state lassoing for this trace; no certificate is ever claimed without it
                         except LoweringError:
                             use_keys = self._use_keys = False
                             continue
@@ -323,6 +325,7 @@ class SoloTrace:
                     if brent_steps == brent_power:
                         try:
                             self._anchor_key = machine_state_key(agent)
+                        # repro-lint: disable=RPR002 -- in-trace downgrade, not a verdict: unfreezable state only disables Brent machine-state lassoing for this trace; no certificate is ever claimed without it
                         except LoweringError:
                             use_keys = self._use_keys = False
                             continue

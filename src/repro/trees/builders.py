@@ -183,7 +183,7 @@ def double_star(branch: int) -> Tree:
 
 def random_tree(num_nodes: int, rng: Optional[random.Random] = None) -> Tree:
     """A uniformly random labeled tree via a random Prüfer sequence."""
-    rng = rng or random.Random()
+    rng = rng or random.Random()  # repro-lint: disable=RPR003 -- documented convenience default: callers needing reproducibility pass a seeded Random; every solver/scenario path does
     if num_nodes < 1:
         raise InvalidTreeError("random_tree needs at least one node")
     if num_nodes == 1:
@@ -230,7 +230,7 @@ def random_bounded_degree_tree(
     existing node with residual capacity.  Not uniform over all such trees,
     but covers the family well for testing purposes.
     """
-    rng = rng or random.Random()
+    rng = rng or random.Random()  # repro-lint: disable=RPR003 -- documented convenience default: callers needing reproducibility pass a seeded Random; every solver/scenario path does
     if max_degree < 2 and num_nodes > 2:
         raise InvalidTreeError("max_degree < 2 only allows trees with <= 2 nodes")
     if num_nodes < 1:

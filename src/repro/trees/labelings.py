@@ -39,7 +39,7 @@ def identity_perms(tree: Tree) -> list[list[int]]:
 
 def random_relabel(tree: Tree, rng: Optional[random.Random] = None) -> Tree:
     """Apply an independent uniformly random port permutation at every node."""
-    rng = rng or random.Random()
+    rng = rng or random.Random()  # repro-lint: disable=RPR003 -- documented convenience default: callers needing reproducibility pass a seeded Random; every solver/scenario path does
     perms = []
     for u in range(tree.n):
         perm = list(range(tree.degree(u)))

@@ -30,6 +30,8 @@ SMOKE_ARGV = {
     "gather-sweep": ["--tree", "line:9", "--agent", "counting:2",
                      "--starts", "0,1,3", "--delays", "0,0,0;1,0,2"],
     "lower": ["baseline", "--tree", "star:4"],
+    # the invariant gate itself: src/ must be clean (exit 0) at all times
+    "lint-invariants": ["src"],
     "viz": ["--tree", "star:3"],
     "report": [],
     "experiments": ["--quick"],

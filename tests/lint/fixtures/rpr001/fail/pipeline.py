@@ -1,0 +1,11 @@
+"""RPR001 failing fixture: a faults-accepting caller drops the plan."""
+
+
+def run_leaf(tree, agent, faults=None):
+    return (tree, agent, faults)
+
+
+def run_sweep(tree, agent, faults=None):
+    # BUG under RPR001: run_leaf accepts `faults` but the call below does
+    # not thread it, silently running the leaf fault-free.
+    return run_leaf(tree, agent)

@@ -1,0 +1,33 @@
+"""RPR001 passing fixture: every threading idiom the rule accepts."""
+
+
+def run_leaf(tree, agent, faults=None):
+    return (tree, agent, faults)
+
+
+def run_keyword(tree, agent, faults=None):
+    return run_leaf(tree, agent, faults=faults)
+
+
+def run_positional(tree, agent, faults=None):
+    return run_leaf(tree, agent, faults)
+
+
+def run_expanded(tree, agent, faults=None):
+    # ``**extra`` forwarding counts as threading (the backends.py idiom).
+    extra = {"faults": faults}
+    return run_leaf(tree, agent, **extra)
+
+
+def run_guarded(tree, agent, faults=None):
+    if faults is None:
+        # provably fault-free branch: the un-threaded call is fine here
+        return run_leaf(tree, agent)
+    return run_leaf(tree, agent, faults=faults)
+
+
+def run_early_exit(tree, agent, faults=None):
+    if faults:
+        return run_leaf(tree, agent, faults=faults)
+    # fall-through is fault-free once the truthy branch terminated
+    return run_leaf(tree, agent)

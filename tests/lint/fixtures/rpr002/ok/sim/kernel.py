@@ -1,0 +1,33 @@
+"""RPR002 passing fixture: *_auto dispatchers and disciplined broad excepts."""
+
+import logging
+
+from repro.errors import KernelUnsupported
+
+log = logging.getLogger(__name__)
+
+
+def sweep_delays_auto(fast, slow):
+    # ``*_auto`` dispatchers in sim/kernel.py are the sanctioned
+    # vectorized-to-reference downgrade point.
+    try:
+        return fast()
+    except KernelUnsupported:
+        return slow()
+
+
+def reraising_probe(run):
+    try:
+        return run()
+    except Exception:
+        # broad, but re-raises: nothing is swallowed
+        raise
+
+
+def logging_probe(run):
+    try:
+        return run()
+    except Exception as exc:
+        # broad, but surfaced through logging before degrading
+        log.warning("probe failed: %s", exc)
+        return None

@@ -1,0 +1,19 @@
+"""RPR003 failing fixture: unseeded randomness and wall-clock reads."""
+
+import random
+import time
+
+
+def pick(options):
+    # BUG under RPR003: module-level RNG, no seed anywhere in sight
+    return random.choice(options)
+
+
+def fresh_rng():
+    # BUG under RPR003: Random() without a seed argument
+    return random.Random()
+
+
+def stamp():
+    # BUG under RPR003: wall clock outside the timing allowlist
+    return time.time()

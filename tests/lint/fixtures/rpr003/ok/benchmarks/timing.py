@@ -1,0 +1,9 @@
+"""RPR003 passing fixture: benchmarks/ is on the wall-clock allowlist."""
+
+import time
+
+
+def measure(run):
+    t0 = time.perf_counter()
+    run()
+    return time.perf_counter() - t0

@@ -1,0 +1,14 @@
+"""RPR003 passing fixture: seeded RNG objects only."""
+
+import random
+
+
+def pick(options, seed):
+    rng = random.Random(seed)
+    return rng.choice(options)
+
+
+def forked(rng: random.Random, options):
+    # method calls on an already-constructed Random are fine: the seed
+    # obligation sits at construction time
+    return rng.sample(options, 1)

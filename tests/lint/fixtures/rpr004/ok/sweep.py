@@ -1,0 +1,12 @@
+"""RPR004 passing fixture: module-level payloads pickle fine."""
+
+from repro.sim.batch import BatchJob, run_batch
+
+
+def module_agent(obs):
+    return obs
+
+
+def sweep(tree, starts):
+    jobs = [BatchJob(tree, module_agent, s, s + 1) for s in starts]
+    return run_batch(jobs)

@@ -1,0 +1,9 @@
+"""RPR005 failing fixture: kernel allocation without an explicit dtype."""
+
+import numpy as np
+
+
+def build_table(n):
+    # BUG under RPR005: platform-default dtype breaks content-addressed
+    # cache keys and memmap round-trips
+    return np.zeros(n)

@@ -1,0 +1,8 @@
+"""RPR005 scope fixture: outside the kernel layers the dtype rule is
+silent — this default-dtype allocation must NOT be flagged."""
+
+import numpy as np
+
+
+def scratch(n):
+    return np.zeros(n)

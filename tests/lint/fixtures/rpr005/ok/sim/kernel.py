@@ -1,0 +1,9 @@
+"""RPR005 passing fixture: every kernel allocation pins its dtype."""
+
+import numpy as np
+
+
+def build_table(n):
+    table = np.zeros(n, dtype=np.int64)
+    ids = np.arange(n, dtype=np.int64)
+    return table, ids

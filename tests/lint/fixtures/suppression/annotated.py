@@ -1,0 +1,18 @@
+"""Suppression fixture: every directive here carries a reason, so the
+file analyzes clean despite three would-be findings."""
+
+import random
+import time
+
+
+def pick(options):
+    return random.choice(options)  # repro-lint: disable=RPR003 -- fixture: same-line suppression with a reason
+
+
+def stamp():
+    # repro-lint: disable=RPR003 -- fixture: standalone suppression covers the next line
+    return time.time()
+
+
+def fresh():
+    return random.Random()  # repro-lint: disable=RPR003 -- fixture: reasons are mandatory and this is one

@@ -1,0 +1,8 @@
+"""Suppression fixture: a reasonless directive is itself a finding
+(RPR000) and does NOT suppress — the RPR003 below still fires."""
+
+import random
+
+
+def pick(options):
+    return random.choice(options)  # repro-lint: disable=RPR003

@@ -1,0 +1,169 @@
+"""Framework semantics: suppression round-trips, RPR000 audits, path
+predicates, reporters, and the CLI contract (exit codes 0/1/2)."""
+
+import ast
+import json
+from pathlib import Path
+
+from repro.lint import Analyzer, SourceFile
+from repro.lint.cli import main
+from repro.lint.report import SCHEMA, render_json, render_text
+from repro.lint.rules import default_rules, rule_table
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def run_on(path):
+    return Analyzer(default_rules()).run([str(path)])
+
+
+# ---------------------------------------------------------------------------
+# suppression round-trip
+# ---------------------------------------------------------------------------
+
+
+def test_suppression_with_reason_silences_the_finding():
+    findings, _ = run_on(FIXTURES / "suppression" / "annotated.py")
+    assert findings == []
+
+
+def test_reasonless_suppression_is_audited_and_does_not_filter():
+    findings, _ = run_on(FIXTURES / "suppression" / "reasonless.py")
+    by_code = {f.code for f in findings}
+    # the directive itself is flagged AND the finding it tried to hide
+    # still fires
+    assert by_code == {"RPR000", "RPR003"}
+    rpr000 = next(f for f in findings if f.code == "RPR000")
+    assert "no reason" in rpr000.message
+
+
+def test_unknown_code_suppression_is_rpr000(tmp_path):
+    f = tmp_path / "mod.py"
+    f.write_text(
+        "import random\n"
+        "x = random.random()  # repro-lint: disable=XYZ9 -- nice try\n"
+    )
+    findings, _ = run_on(f)
+    assert {f.code for f in findings} == {"RPR000", "RPR003"}
+    assert "unknown code" in next(
+        f for f in findings if f.code == "RPR000"
+    ).message
+
+
+def test_standalone_suppression_covers_only_the_next_line(tmp_path):
+    f = tmp_path / "mod.py"
+    f.write_text(
+        "import random\n"
+        "# repro-lint: disable=RPR003 -- covers line 3 only\n"
+        "a = random.random()\n"
+        "b = random.random()\n"
+    )
+    findings, _ = run_on(f)
+    assert [x.line for x in findings] == [4]
+
+
+def test_suppression_only_silences_listed_codes(tmp_path):
+    f = tmp_path / "mod.py"
+    f.write_text(
+        "import random, time\n"
+        "a = random.random()  # repro-lint: disable=RPR005 -- wrong code\n"
+    )
+    findings, _ = run_on(f)
+    assert {x.code for x in findings} == {"RPR003"}
+
+
+def test_parse_error_reports_rpr000(tmp_path):
+    f = tmp_path / "broken.py"
+    f.write_text("def f(:\n")
+    findings, _ = run_on(f)
+    assert [x.code for x in findings] == ["RPR000"]
+    assert "does not parse" in findings[0].message
+
+
+# ---------------------------------------------------------------------------
+# path predicate
+# ---------------------------------------------------------------------------
+
+
+def _sf(display):
+    return SourceFile(
+        Path(display), display, "m", "", ast.parse(""), []
+    )
+
+
+def test_matches_file_suffix_on_whole_segments():
+    assert _sf("src/repro/sim/kernel.py").matches("sim/kernel.py")
+    assert not _sf("src/repro/sim/notkernel.py").matches("kernel.py")
+    assert not _sf("src/repro/othersim/kernel.py").matches("sim/kernel.py")
+
+
+def test_matches_directory_segment_anywhere():
+    assert _sf("benchmarks/bench_engine.py").matches("benchmarks/")
+    assert _sf("x/benchmarks/deep/mod.py").matches("benchmarks/")
+    assert not _sf("src/benchmarks.py").matches("benchmarks/")
+
+
+# ---------------------------------------------------------------------------
+# reporters
+# ---------------------------------------------------------------------------
+
+
+def test_json_report_schema():
+    findings, files = run_on(FIXTURES / "rpr003" / "fail")
+    doc = json.loads(render_json(findings, len(files), ["whatever"]))
+    assert doc["schema"] == SCHEMA == "repro.lint-report/v1"
+    assert doc["paths"] == ["whatever"]
+    assert doc["files"] == len(files)
+    assert doc["summary"]["total"] == len(findings) == 3
+    assert doc["summary"]["by_code"] == {"RPR003": 3}
+    entry = doc["findings"][0]
+    assert set(entry) == {"code", "rule", "path", "line", "col", "message"}
+
+
+def test_text_report_summarizes_by_code():
+    findings, files = run_on(FIXTURES / "rpr003" / "fail")
+    out = render_text(findings, len(files))
+    assert "RPR003: 3" in out
+    clean = render_text([], 7)
+    assert clean == "clean: 0 findings across 7 file(s)"
+
+
+def test_rule_table_lists_all_six_rules():
+    table = rule_table()
+    assert [code for code, _, _ in table] == [
+        "RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006",
+    ]
+    assert all(contract for _, _, contract in table)
+
+
+# ---------------------------------------------------------------------------
+# CLI contract
+# ---------------------------------------------------------------------------
+
+
+def test_cli_exit_zero_on_clean_tree(capsys):
+    assert main([str(FIXTURES / "rpr001" / "ok")]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_cli_exit_one_on_findings(capsys):
+    assert main([str(FIXTURES / "rpr001" / "fail")]) == 1
+    assert "RPR001" in capsys.readouterr().out
+
+
+def test_cli_exit_two_on_bad_path(capsys):
+    assert main(["definitely/not/a/path"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_cli_json_format(capsys):
+    assert main([str(FIXTURES / "rpr005" / "fail"), "--format", "json"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["schema"] == SCHEMA
+
+
+def test_cli_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006"):
+        assert code in out

@@ -1,0 +1,72 @@
+"""Per-rule fixture corpus: each RPR rule fires on its failing snippet
+and stays silent on the passing one (the acceptance criterion for the
+invariant-analyzer PR)."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import ALL_RULES, Analyzer
+from repro.lint.rules import default_rules
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def run_on(path: Path):
+    findings, _files = Analyzer(default_rules()).run([str(path)])
+    return findings
+
+
+def codes(findings) -> set[str]:
+    return {f.code for f in findings}
+
+
+# (rule dir, expected code, finding count on the failing fixture)
+CASES = [
+    ("rpr001", "RPR001", 1),
+    ("rpr002", "RPR002", 3),
+    ("rpr003", "RPR003", 3),
+    ("rpr004", "RPR004", 2),
+    ("rpr006", "RPR006", 2),
+]
+
+
+@pytest.mark.parametrize("subdir,code,n_fail", CASES)
+def test_rule_fires_on_failing_fixture(subdir, code, n_fail):
+    findings = run_on(FIXTURES / subdir / "fail")
+    assert codes(findings) == {code}
+    assert len(findings) == n_fail
+
+
+@pytest.mark.parametrize("subdir,code,n_fail", CASES)
+def test_rule_silent_on_passing_fixture(subdir, code, n_fail):
+    assert run_on(FIXTURES / subdir / "ok") == []
+
+
+def test_rpr005_fires_only_inside_kernel_paths():
+    # the failing corpus places the default-dtype allocation under a
+    # sim/kernel.py path; an identical allocation elsewhere is ignored
+    findings = run_on(FIXTURES / "rpr005" / "fail")
+    assert codes(findings) == {"RPR005"} and len(findings) == 1
+    assert findings[0].path.endswith("sim/kernel.py")
+    assert run_on(FIXTURES / "rpr005" / "ok") == []
+
+
+def test_every_rule_has_a_fixture_pair():
+    covered = {c for c, *_ in CASES} | {"rpr005"}
+    assert covered == {cls.code.lower() for cls in ALL_RULES}
+    for sub in sorted(covered):
+        assert list((FIXTURES / sub / "fail").rglob("*.py")), sub
+        assert list((FIXTURES / sub / "ok").rglob("*.py")), sub
+
+
+def test_rpr001_message_names_caller_and_callee():
+    (finding,) = run_on(FIXTURES / "rpr001" / "fail")
+    assert "'run_sweep'" in finding.message
+    assert "'run_leaf'" in finding.message
+
+
+def test_rpr006_reports_exact_missing_methods():
+    findings = run_on(FIXTURES / "rpr006" / "fail")
+    by_msg = "\n".join(f.message for f in findings)
+    assert "run_pairs" in by_msg and "sweep_gathering" in by_msg

@@ -284,3 +284,74 @@ class TestBatchedBackendIntegration:
         again = backend.run_many(healthy_jobs())
         assert as_verdicts(first) == as_verdicts(again)
         assert len(path.read_text().splitlines()) == len(healthy_jobs())
+
+
+class _ScriptedConn:
+    """Stand-in for the worker's pipe end: scripted recv, captured send."""
+
+    def __init__(self, messages):
+        self.messages = list(messages)
+        self.sent = []
+
+    def recv(self):
+        if not self.messages:
+            raise EOFError
+        msg = self.messages.pop(0)
+        if isinstance(msg, BaseException):
+            raise msg
+        return msg
+
+    def send(self, payload):
+        self.sent.append(payload)
+
+
+class _RaisingJob:
+    """Duck-typed job whose execution raises a scripted exception."""
+
+    seed = None
+
+    def __init__(self, exc):
+        self.exc = exc
+
+    def apply(self, run):
+        raise self.exc
+
+
+class TestWorkerLoopSignalDiscipline:
+    """The worker loop absorbs job errors structurally but must never
+    absorb KeyboardInterrupt/SystemExit (narrowed in the invariant-
+    analyzer PR: the shutdown catch is EOFError/OSError only)."""
+
+    def test_keyboard_interrupt_on_recv_propagates(self):
+        from repro.sim.supervise import _worker_loop
+
+        with pytest.raises(KeyboardInterrupt):
+            _worker_loop(_ScriptedConn([KeyboardInterrupt()]), "rendezvous")
+
+    def test_keyboard_interrupt_inside_a_job_propagates(self):
+        from repro.sim.supervise import _worker_loop
+
+        conn = _ScriptedConn([(0, 1, _RaisingJob(KeyboardInterrupt()))])
+        with pytest.raises(KeyboardInterrupt):
+            _worker_loop(conn, "rendezvous")
+        assert conn.sent == []  # never classified as a retryable error
+
+    def test_system_exit_inside_a_job_propagates(self):
+        from repro.sim.supervise import _worker_loop
+
+        conn = _ScriptedConn([(0, 1, _RaisingJob(SystemExit(3)))])
+        with pytest.raises(SystemExit):
+            _worker_loop(conn, "rendezvous")
+        assert conn.sent == []
+
+    def test_eof_means_clean_shutdown(self):
+        from repro.sim.supervise import _worker_loop
+
+        _worker_loop(_ScriptedConn([]), "rendezvous")  # returns, no raise
+
+    def test_job_exceptions_become_error_payloads(self):
+        from repro.sim.supervise import _worker_loop
+
+        conn = _ScriptedConn([(5, 2, _RaisingJob(ValueError("boom"))), None])
+        _worker_loop(conn, "rendezvous")
+        assert conn.sent == [("error", 5, 2, "ValueError: boom")]
