@@ -5,9 +5,11 @@ GOLDEN_SCENARIOS := verify-small gathering-line-k3 thm31-sweep atlas-programs \
         rendezvous-relabel-line gathering-crash-k3
 FAULT_TMP := /tmp/repro-fault-smoke
 FAULT_SCENARIOS := rendezvous-relabel-line gathering-crash-k3
+TELEMETRY_TMP := /tmp/repro-telemetry-smoke
 
 .PHONY: test lint lint-invariants bench-smoke bench-engine scenarios-smoke \
-        bench-scenarios check-regression golden-diff fault-smoke
+        bench-scenarios check-regression golden-diff fault-smoke \
+        telemetry-smoke
 
 test:
 	$(PY) -m pytest -x -q
@@ -42,7 +44,8 @@ check-regression:
 	$(PY) benchmarks/check_regression.py \
 	    --baseline $(BENCH_BASELINE) --current BENCH_engine.json \
 	    --require throughput --require delay_sweep \
-	    --require lowering --require kernel
+	    --require lowering --require kernel \
+	    --require telemetry_overhead
 
 # Golden row-level drift gate, exactly as CI runs it: re-run the golden
 # scenarios and `scenarios diff` them against the checked-in goldens.
@@ -71,6 +74,30 @@ fault-smoke:
 	        $(FAULT_TMP)/compiled/$$name.json || exit 1; \
 	done
 	$(PY) -m pytest tests/sim/test_faults.py tests/sim/test_supervised.py -q
+
+# Observability smoke: run a kernel-eligible scenario instrumented,
+# cold then warm against an on-disk table cache, and check the full
+# telemetry contract (dispatch tiers reported, phase durations account
+# for elapsed time, warm run sees cache hits, event stream parses, the
+# offline report renders).  The warm run is a NEW process, so its hits
+# prove the cache crosses process boundaries.
+telemetry-smoke:
+	rm -rf $(TELEMETRY_TMP) && mkdir -p $(TELEMETRY_TMP)/cache
+	@echo "== cold (empty kernel cache)"
+	REPRO_KERNEL_CACHE=$(TELEMETRY_TMP)/cache $(PY) -m repro scenarios run \
+	    delays-line --backend auto --telemetry=$(TELEMETRY_TMP)/cold.jsonl \
+	    --save --out $(TELEMETRY_TMP)/cold > /dev/null
+	$(PY) benchmarks/check_telemetry.py $(TELEMETRY_TMP)/cold/delays-line.json \
+	    --expect-events $(TELEMETRY_TMP)/cold.jsonl
+	@echo "== warm (cache populated, fresh process)"
+	REPRO_KERNEL_CACHE=$(TELEMETRY_TMP)/cache $(PY) -m repro scenarios run \
+	    delays-line --backend auto --telemetry=$(TELEMETRY_TMP)/warm.jsonl \
+	    --save --out $(TELEMETRY_TMP)/warm > /dev/null
+	$(PY) benchmarks/check_telemetry.py $(TELEMETRY_TMP)/warm/delays-line.json \
+	    --expect-cache-hits --expect-events $(TELEMETRY_TMP)/warm.jsonl
+	@echo "== offline report"
+	$(PY) -m repro telemetry report $(TELEMETRY_TMP)/warm.jsonl
+	$(PY) -m pytest tests/telemetry -q
 
 # Quick pass over the scenario registry (the experiment tables, small grids).
 scenarios-smoke:

@@ -243,6 +243,44 @@ def _table_cache(quick: bool) -> dict:
     }
 
 
+def _telemetry_overhead(quick: bool) -> dict:
+    """The no-op overhead guarantee, measured: the same registry sweep
+    with the default NullTelemetry vs an active Telemetry context.
+
+    The disabled path costs one contextvar read plus one attribute check
+    per instrumented seam; this subsection records both best-of timings
+    and their ratio so a future PR that makes observation expensive (or
+    makes *non*-observation expensive) trips the regression gate.
+    """
+    from repro.scenarios import Runner
+    from repro.telemetry import Telemetry
+
+    rounds = 3 if quick else 10
+    runner = Runner(backend="auto")
+
+    def best(active: bool) -> float:
+        times = []
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            runner.run(
+                "delays-line",
+                telemetry=Telemetry() if active else None,
+            )
+            times.append(time.perf_counter() - t0)
+        return min(times)
+
+    disabled = best(False)
+    enabled = best(True)
+    return {
+        "quick": quick,
+        "workload": "delays-line (auto backend)",
+        "rounds": rounds,
+        "disabled_seconds": round(disabled, 4),
+        "enabled_seconds": round(enabled, 4),
+        "overhead_ratio": round(enabled / max(disabled, 1e-9), 3),
+    }
+
+
 def main(quick: bool = False, out_dir: Path | None = None) -> dict:
     section = {
         "quick": quick,
@@ -256,6 +294,10 @@ def main(quick: bool = False, out_dir: Path | None = None) -> dict:
         "bench": "engine-backends"
     }
     payload["kernel"] = section
+    # top-level section (check_regression --require only sees top-level
+    # keys): the observability layer's disabled-path cost, gated like
+    # any other timing
+    payload["telemetry_overhead"] = _telemetry_overhead(quick)
     record_json("BENCH_engine", payload, out_dir)
     return section
 

@@ -1,0 +1,126 @@
+"""Telemetry smoke gate: validate an instrumented scenario result.
+
+``make telemetry-smoke`` runs a kernel-eligible registry scenario with
+``--telemetry --save`` and hands the saved JSON payload to this script,
+which asserts the observability contract end to end:
+
+- the payload still passes ``store.validate_payload`` (the telemetry
+  block is schema-checked, rows are untouched);
+- the telemetry block reports the dispatched backend tier
+  (``backend.dispatch.*`` counters) — never a silent degrade;
+- the per-phase span durations account for the run's recorded
+  ``elapsed_seconds`` within tolerance (10% + a jitter floor);
+- with ``--expect-cache-hits``, the kernel successor-table cache
+  reported at least one hit (memo or disk) — the warm-cache leg of the
+  smoke proves the on-disk cache actually round-trips across processes;
+- with ``--expect-events PATH``, the JSONL event stream at PATH parses
+  and is non-empty.
+
+Exit status: 0 = contract holds, 1 = violation, 2 = unusable input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+# tolerance for |sum(phases) - elapsed_seconds|: 10% of elapsed plus a
+# floor for sub-millisecond runs where rounding dominates
+RELATIVE_TOLERANCE = 0.10
+JITTER_FLOOR = 0.05
+
+
+def fail(msg: str) -> int:
+    print(f"FAIL: {msg}")
+    return 1
+
+
+def check_payload(payload: dict, expect_cache_hits: bool) -> int:
+    sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))
+    from repro.scenarios.spec import ScenarioError
+    from repro.scenarios.store import validate_payload
+
+    try:
+        validate_payload(payload)
+    except ScenarioError as exc:
+        return fail(f"payload failed store validation: {exc}")
+
+    telemetry = payload.get("telemetry")
+    if telemetry is None:
+        return fail("payload carries no telemetry block (was --telemetry passed?)")
+
+    counters = telemetry.get("counters", {})
+    tiers = sorted(k for k in counters if k.startswith("backend.dispatch."))
+    if not tiers:
+        return fail("no backend.dispatch.* counters: the run never reported its tier")
+    print(f"dispatch tiers: {', '.join(f'{t}={counters[t]}' for t in tiers)}")
+
+    elapsed = float(payload["timings"]["elapsed_seconds"])
+    phases = telemetry.get("phases", {})
+    if "execute" not in phases:
+        return fail(f"no execute phase in {sorted(phases)}")
+    total = sum(float(v) for v in phases.values())
+    tolerance = max(RELATIVE_TOLERANCE * elapsed, JITTER_FLOOR)
+    if abs(total - elapsed) > tolerance:
+        return fail(
+            f"phase durations sum to {total:.4f}s but elapsed_seconds is "
+            f"{elapsed:.4f}s (tolerance {tolerance:.4f}s)"
+        )
+    print(f"phases {sorted(phases)} sum {total:.4f}s vs elapsed {elapsed:.4f}s: ok")
+
+    if expect_cache_hits:
+        hits = counters.get("kernel.table.memo_hit", 0) + counters.get(
+            "kernel.table.disk_hit", 0
+        )
+        if hits < 1:
+            return fail(
+                "expected kernel table cache hits, saw none "
+                f"(kernel counters: { {k: v for k, v in counters.items() if k.startswith('kernel.')} })"
+            )
+        print(
+            f"kernel table cache hits: memo={counters.get('kernel.table.memo_hit', 0)} "
+            f"disk={counters.get('kernel.table.disk_hit', 0)}"
+        )
+    return 0
+
+
+def check_events(path: pathlib.Path) -> int:
+    from repro.telemetry import read_events
+
+    records, skipped = read_events(path)
+    if not records:
+        return fail(f"event stream {path} is empty")
+    if skipped:
+        return fail(f"event stream {path} has {skipped} unparseable lines")
+    print(f"event stream: {len(records)} events, 0 skipped")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("payload", help="saved scenario result JSON")
+    parser.add_argument("--expect-cache-hits", action="store_true",
+                        help="require kernel table cache hits > 0")
+    parser.add_argument("--expect-events", default=None, metavar="PATH",
+                        help="require a non-empty, fully-parseable JSONL stream")
+    args = parser.parse_args(argv)
+
+    path = pathlib.Path(args.payload)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        print(f"unusable payload {path}: {exc}")
+        return 2
+
+    status = check_payload(payload, args.expect_cache_hits)
+    if status == 0 and args.expect_events:
+        status = check_events(pathlib.Path(args.expect_events))
+    if status == 0:
+        print("telemetry contract: ok")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -414,11 +414,16 @@ def lowered_for(
     not pay the enumeration once per tree.  The cached exception is
     re-raised each time.
     """
+    from ..telemetry import current as _telemetry
+
+    t = _telemetry()
     alphabet = tuple(_observation_alphabet(degrees))
     key = (alphabet, state_budget, step_budget)
     try:
         per_proto = _LOWERING_CACHE.get(prototype)
     except TypeError:  # not weak-referenceable: lower uncached
+        if t.enabled:
+            t.count("lowering.memo.uncacheable")
         return lower_to_automaton(
             prototype, (d for _ip, d in alphabet),
             state_budget=state_budget, step_budget=step_budget,
@@ -428,15 +433,23 @@ def lowered_for(
         _LOWERING_CACHE[prototype] = per_proto
     hit = per_proto.get(key)
     if hit is None:
+        if t.enabled:
+            t.count("lowering.memo.miss")
         try:
             hit = lower_to_automaton(
                 prototype, {d for _ip, d in alphabet},
                 state_budget=state_budget, step_budget=step_budget,
             )
         except (LoweringError, BudgetExceededError) as exc:
+            if t.enabled:
+                t.count("lowering.refusal")
             per_proto[key] = exc
             raise
         per_proto[key] = hit
+    elif t.enabled:
+        t.count("lowering.memo.hit")
+        if isinstance(hit, Exception):
+            t.count("lowering.memo.cached_refusal")
     if isinstance(hit, Exception):
         raise hit
     return hit

@@ -19,6 +19,7 @@ viz          render a tree as ASCII art or Graphviz DOT
 report       regenerate the experiment report as markdown
 experiments  run every experiment table (E1-E8) and print them
 scenarios    list / run / diff declarative scenarios (the registry)
+telemetry    summarize a JSONL telemetry event stream offline
 
 The experiment-shaped commands (``delays``, ``atlas``,
 ``atlas-programs``, ``gap``, ``thm31``, ``thm42``, ``thm43``,
@@ -444,9 +445,17 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
                 params[key] = _json.loads(value)
             except ValueError:
                 params[key] = value
+        telem = None
+        sink = None
+        if args.telemetry is not None:
+            from .telemetry import JsonlSink, Telemetry
+
+            if args.telemetry is not True:
+                sink = JsonlSink(args.telemetry)
+            telem = Telemetry(sink=sink)
         runner = Runner(backend=args.backend, processes=args.processes)
         result = runner.run(
-            args.name, seed=args.seed, params=params or None
+            args.name, seed=args.seed, params=params or None, telemetry=telem
         )
         print(result.table())
         print(
@@ -455,6 +464,15 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
             f"ok={result.ok} elapsed={result.elapsed_seconds:.3f}s "
             f"spec_hash={result.spec_hash()}"
         )
+        if telem is not None:
+            from .scenarios.runner import format_rows
+            from .telemetry import summary_rows
+
+            if sink is not None:
+                sink.close()
+                print(f"telemetry events: {args.telemetry}")
+            print("\n# telemetry")
+            print(format_rows(summary_rows(result.telemetry)))
         if args.save:
             path = ResultStore(args.out).save(result)
             print(f"wrote {path}")
@@ -471,6 +489,28 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
         return 1
 
     raise SystemExit(f"unknown scenarios subcommand {args.scenarios_cmd!r}")
+
+
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    """Aggregate a JSONL telemetry event stream offline (``--telemetry=PATH``
+    output from ``scenarios run``) into the same summary table the live
+    run prints.  Torn tails are skipped, not fatal — the stream may come
+    from an interrupted run."""
+    from .scenarios.runner import format_rows
+    from .telemetry import aggregate_events, read_events, summary_rows
+
+    if args.telemetry_cmd == "report":
+        records, skipped = read_events(args.path)
+        if not records and skipped == 0:
+            print(f"no telemetry events in {args.path}")
+            return 1
+        snapshot = aggregate_events(records)
+        print(format_rows(summary_rows(snapshot)))
+        print(f"\n{len(records)} events from {args.path}"
+              + (f" ({skipped} unparseable lines skipped)" if skipped else ""))
+        return 0
+
+    raise SystemExit(f"unknown telemetry subcommand {args.telemetry_cmd!r}")
 
 
 def _add_backend_option(p: argparse.ArgumentParser) -> None:
@@ -660,6 +700,10 @@ def _parser() -> argparse.ArgumentParser:
                     help="result store directory (with --save / diff)")
     sp.add_argument("--processes", type=int, default=None,
                     help="process pool size for the batched backend")
+    sp.add_argument("--telemetry", nargs="?", const=True, default=None,
+                    metavar="PATH",
+                    help="collect telemetry and print a summary table; "
+                         "with PATH, also stream events to a JSONL file")
     _add_backend_option(sp)
     sp.set_defaults(fn=_cmd_scenarios)
 
@@ -668,6 +712,13 @@ def _parser() -> argparse.ArgumentParser:
     sp.add_argument("b", help="result name or JSON path")
     sp.add_argument("--out", default="benchmarks/results")
     sp.set_defaults(fn=_cmd_scenarios)
+
+    p = sub.add_parser("telemetry", help="inspect telemetry event streams")
+    tsub = p.add_subparsers(dest="telemetry_cmd", required=True)
+
+    tp = tsub.add_parser("report", help="summarize a JSONL event stream")
+    tp.add_argument("path", help="JSONL file from scenarios run --telemetry=PATH")
+    tp.set_defaults(fn=_cmd_telemetry)
 
     return parser
 

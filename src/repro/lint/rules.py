@@ -337,14 +337,18 @@ class DeterminismRule(FileRule):
     seeded-job plumbing (``BatchJob.seed``) and always take explicit
     state.  The wall-clock allowlist is the timing infrastructure the
     repo already quarantines: benchmarks, the instrument layer, and the
-    supervised pool's timeout arithmetic.
+    supervised pool's timeout arithmetic.  The telemetry layer gets a
+    narrower grant: *monotonic-family* clocks only (span timing), so a
+    ``time.time()`` wall-clock read in a telemetry payload still fires —
+    event streams must never embed absolute timestamps.
     """
 
     code = "RPR003"
     name = "determinism"
     contract = (
         "no shared-RNG draws or unseeded Random(); wall-clock reads "
-        "only in benchmarks/, sim/instrument.py, sim/supervise.py"
+        "only in benchmarks/, sim/instrument.py, sim/supervise.py; "
+        "telemetry/ may use monotonic-family clocks only"
     )
 
     #: Where wall-clock reads are legitimate (timing infrastructure).
@@ -353,10 +357,19 @@ class DeterminismRule(FileRule):
         "sim/instrument.py",
         "sim/supervise.py",
     )
+    #: Where only *monotonic* clocks are legitimate (span timing):
+    #: telemetry measures durations, never moments.
+    MONOTONIC_ONLY_PATHS = (
+        "telemetry/",
+    )
     #: ``time`` module functions that read or depend on the wall clock.
     CLOCK_FUNCS = frozenset({
         "time", "time_ns", "perf_counter", "perf_counter_ns",
         "monotonic", "monotonic_ns", "sleep", "process_time",
+    })
+    #: The duration-only subset allowed under MONOTONIC_ONLY_PATHS.
+    MONOTONIC_FUNCS = frozenset({
+        "monotonic", "monotonic_ns", "perf_counter", "perf_counter_ns",
     })
     #: ``random`` module attrs that manage explicit state (allowed).
     RNG_STATE_FUNCS = frozenset({"getstate", "setstate"})
@@ -423,6 +436,16 @@ class DeterminismRule(FileRule):
             return
         assert self.sf is not None
         if any(self.sf.matches(p) for p in self.CLOCK_ALLOWED_PATHS):
+            return
+        if any(self.sf.matches(p) for p in self.MONOTONIC_ONLY_PATHS):
+            if attr in self.MONOTONIC_FUNCS:
+                return
+            self.finding(node, (
+                f"time.{attr}() reads the wall clock inside the telemetry "
+                f"layer — telemetry may measure durations "
+                f"({', '.join(sorted(self.MONOTONIC_FUNCS))}) but never "
+                f"embed absolute timestamps in event payloads"
+            ))
             return
         self.finding(node, (
             f"time.{attr}() reads the clock outside the timing allowlist "

@@ -59,7 +59,7 @@ import abc
 import random
 from typing import Optional, Sequence
 
-from ..agents.lowering import lower_to_automaton
+from ..agents.lowering import lowered_for
 from ..agents.observations import AgentBase
 from ..errors import BudgetExceededError, LoweringError
 from ..sim.batch import BatchJob, GatheringJob, run_batch, run_gathering_batch
@@ -97,6 +97,7 @@ from ..sim.traced import (
     sweep_delays_traced,
     sweep_gathering_traced,
 )
+from ..telemetry import current as _telemetry
 from ..trees.tree import Tree
 from .spec import ScenarioError
 
@@ -110,6 +111,34 @@ __all__ = [
 ]
 
 _SWEEP_BUDGET = 500_000
+
+
+def _note_dispatch(method: str, tier: str) -> None:
+    """Record which execution tier a backend dispatch chose.
+
+    Dispatch decisions were previously invisible: ``--backend auto``
+    told you nothing about whether a sweep rode the kernel, the traced
+    windows, or degraded to per-run execution.  One counter per
+    (method, tier) makes the tier auditable after the fact.
+    """
+    t = _telemetry()
+    if t.enabled:
+        t.count(f"backend.dispatch.{method}.{tier}")
+
+
+def _note_fallback(method: str, exc: BaseException) -> None:
+    """Record a graceful degrade and its reason.
+
+    The ``except (BudgetExceededError, LoweringError): degrade()``
+    seams absorb these silently by design (honest verdicts, never a
+    crash) — telemetry is where the absorbed reason surfaces.
+    """
+    t = _telemetry()
+    if t.enabled:
+        reason = type(exc).__name__
+        t.count(f"backend.fallback.{reason}")
+        t.event("backend.fallback", method=method, reason=reason,
+                detail=str(exc))
 
 
 class Backend(abc.ABC):
@@ -305,9 +334,12 @@ def _lowered_for_faults(prototype: AgentBase, tree: Tree):
     — crash/pause faults freeze the machine in a state it can resume
     from, and relabelings preserve every node degree — so faulted sweeps
     of lowerable agents ride the explicit-automaton solver instead.
+    Routed through the :func:`~repro.agents.lowering.lowered_for` memo:
+    a faulted sweep grid lowers each prototype once per degree alphabet,
+    not once per tree.
     """
     degrees = {tree.degree(v) for v in range(tree.n)}
-    return lower_to_automaton(prototype, degrees)
+    return lowered_for(prototype, degrees)
 
 
 def _sweep_delays_exact(
@@ -343,30 +375,42 @@ def _sweep_delays_exact(
                 kwargs = {} if max_rounds is None else dict(
                     trace_budget=max_rounds, max_configs=max_rounds
                 )
-                return sweep_delays_traced(
+                verdicts = sweep_delays_traced(
                     tree, prototype, start1, start2,
                     max_delay=max_delay, sides=tuple(sides),
                     solver=solve_all_delays_auto, **kwargs,
                 )
-            except (BudgetExceededError, LoweringError):
+                _note_dispatch("sweep_delays", "traced")
+                return verdicts
+            except (BudgetExceededError, LoweringError) as exc:
+                _note_fallback("sweep_delays", exc)
+                _note_dispatch("sweep_delays", "per_run")
                 return degrade()
         try:
             solver_proto = _lowered_for_faults(prototype, tree)
-        except (BudgetExceededError, LoweringError):
+        except (BudgetExceededError, LoweringError) as exc:
+            _note_fallback("sweep_delays", exc)
+            _note_dispatch("sweep_delays", "per_run")
             return degrade()
     extra = {} if faults is None else {"faults": faults}
     if max_rounds is None:
-        return solve_all_delays_auto(
+        verdicts = solve_all_delays_auto(
             tree, solver_proto, start1, start2,
             max_delay=max_delay, delayed_sides=tuple(sides), **extra,
         )
+        _note_dispatch("sweep_delays", "exact")
+        return verdicts
     try:
-        return solve_all_delays_auto(
+        verdicts = solve_all_delays_auto(
             tree, solver_proto, start1, start2,
             max_delay=max_delay, delayed_sides=tuple(sides),
             max_configs=max_rounds, **extra,
         )
-    except BudgetExceededError:
+        _note_dispatch("sweep_delays", "exact")
+        return verdicts
+    except BudgetExceededError as exc:
+        _note_fallback("sweep_delays", exc)
+        _note_dispatch("sweep_delays", "per_run")
         return degrade()
 
 
@@ -387,27 +431,39 @@ def _sweep_gathering_exact(
                 kwargs = {} if max_rounds is None else dict(
                     trace_budget=max_rounds, max_configs=max_rounds
                 )
-                return sweep_gathering_traced(
+                verdicts = sweep_gathering_traced(
                     tree, prototype, starts, delay_vectors,
                     solver=solve_gathering_auto, **kwargs,
                 )
-            except (BudgetExceededError, LoweringError):
+                _note_dispatch("sweep_gathering", "traced")
+                return verdicts
+            except (BudgetExceededError, LoweringError) as exc:
+                _note_fallback("sweep_gathering", exc)
+                _note_dispatch("sweep_gathering", "per_run")
                 return degrade()
         try:
             solver_proto = _lowered_for_faults(prototype, tree)
-        except (BudgetExceededError, LoweringError):
+        except (BudgetExceededError, LoweringError) as exc:
+            _note_fallback("sweep_gathering", exc)
+            _note_dispatch("sweep_gathering", "per_run")
             return degrade()
     extra = {} if faults is None else {"faults": faults}
     if max_rounds is None:
-        return solve_gathering_auto(
+        verdicts = solve_gathering_auto(
             tree, solver_proto, starts, delay_vectors, **extra
         )
+        _note_dispatch("sweep_gathering", "exact")
+        return verdicts
     try:
-        return solve_gathering_auto(
+        verdicts = solve_gathering_auto(
             tree, solver_proto, starts, delay_vectors,
             max_configs=max_rounds, **extra,
         )
-    except BudgetExceededError:
+        _note_dispatch("sweep_gathering", "exact")
+        return verdicts
+    except BudgetExceededError as exc:
+        _note_fallback("sweep_gathering", exc)
+        _note_dispatch("sweep_gathering", "per_run")
         return degrade()
 
 
@@ -424,12 +480,17 @@ def _run_pairs_fast(
     """
     kind = supports_compilation(prototype)
     if kind == "lowerable":
-        return run_pairs_traced(tree, prototype, pairs, max_rounds=max_rounds)
+        verdicts = run_pairs_traced(tree, prototype, pairs, max_rounds=max_rounds)
+        _note_dispatch("run_pairs", "traced")
+        return verdicts
     if kind == "native" and kernel_available():
         try:
-            return run_pairs_kernel(tree, prototype, pairs, max_rounds=max_rounds)
-        except (KernelUnsupported, BudgetExceededError):
-            pass
+            verdicts = run_pairs_kernel(tree, prototype, pairs, max_rounds=max_rounds)
+            _note_dispatch("run_pairs", "kernel")
+            return verdicts
+        except (KernelUnsupported, BudgetExceededError) as exc:
+            _note_fallback("run_pairs", exc)
+    _note_dispatch("run_pairs", "per_pair")
     return Backend.run_pairs(
         backend, tree, prototype, pairs, max_rounds=max_rounds
     )

@@ -13,9 +13,10 @@ import platform
 import random
 import sys
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Mapping, Optional, Union
 
+from ..telemetry import use as use_telemetry
 from .backends import Backend, select_backend
 from .executors import BACKEND_AGNOSTIC_KINDS, execute
 from .spec import ScenarioError, ScenarioSpec
@@ -55,15 +56,47 @@ def format_rows(rows: list[dict]) -> str:
     return "\n".join(lines)
 
 
+def _environment_provenance() -> dict:
+    """Interpreter, platform, numpy and kernel-cache provenance — the
+    columns the service-shaped result store will key on.  ``numpy`` is
+    ``None`` when absent (the kernel degrades without it, so the result
+    is still valid — but a reader must be able to tell which tier could
+    even have run)."""
+    from ..sim.kernel import kernel_available, kernel_cache_dir
+
+    try:
+        import numpy
+        numpy_version: Optional[str] = numpy.__version__
+    except ImportError:
+        numpy_version = None
+    return {
+        "python": platform.python_version(),
+        "implementation": sys.implementation.name,
+        "platform": platform.platform(),
+        "numpy": numpy_version,
+        "kernel": {
+            "enabled": kernel_available(),
+            "cache_dir_set": kernel_cache_dir() is not None,
+        },
+    }
+
+
 @dataclass
 class ScenarioResult:
-    """A completed scenario run: the spec, its outcome table, aggregates."""
+    """A completed scenario run: the spec, its outcome table, aggregates.
+
+    ``telemetry`` is the optional :mod:`repro.telemetry` snapshot of the
+    run (``repro.telemetry/v1``); ``None`` — the default — keeps the
+    payload byte-identical to a pre-telemetry run, so goldens and diffs
+    are untouched unless a caller opts in.
+    """
 
     spec: ScenarioSpec
     backend: str
     rows: list[dict]
     summary: dict
     elapsed_seconds: float
+    telemetry: Optional[dict] = field(default=None)
 
     @property
     def name(self) -> str:
@@ -80,8 +113,13 @@ class ScenarioResult:
         return format_rows(self.rows)
 
     def to_payload(self) -> dict:
-        """The persistence schema (validated by ``store.validate_payload``)."""
-        return {
+        """The persistence schema (validated by ``store.validate_payload``).
+
+        ``telemetry`` joins ``timings``/``environment`` as provenance:
+        present only when the run collected it, excluded from diffs
+        either way (``store.comparable`` picks rows + spec_hash only).
+        """
+        payload = {
             "schema": SCHEMA,
             "scenario": self.spec.name,
             "kind": self.spec.kind,
@@ -91,12 +129,11 @@ class ScenarioResult:
             "rows": self.rows,
             "summary": self.summary,
             "timings": {"elapsed_seconds": round(self.elapsed_seconds, 4)},
-            "environment": {
-                "python": platform.python_version(),
-                "implementation": sys.implementation.name,
-                "platform": platform.platform(),
-            },
+            "environment": _environment_provenance(),
         }
+        if self.telemetry is not None:
+            payload["telemetry"] = self.telemetry
+        return payload
 
 
 class Runner:
@@ -106,6 +143,13 @@ class Runner:
     (or a :class:`Backend` instance) overrides it for every run —
     ``Runner(backend="reference")`` replays a whole scenario on the
     oracle engine for parity checks.
+
+    ``telemetry=`` (a :class:`repro.telemetry.Telemetry`) collects the
+    run's dispatch decisions, cache traffic and phase durations; the
+    default inherits the ambient context (:func:`repro.telemetry.
+    current`), which is the no-op :data:`~repro.telemetry.NULL_TELEMETRY`
+    unless a caller activated one — telemetry is observationally inert
+    and off by default.
     """
 
     def __init__(
@@ -113,9 +157,11 @@ class Runner:
         backend: Union[str, Backend, None] = None,
         *,
         processes: Optional[int] = None,
+        telemetry=None,
     ):
         self._backend = backend
         self._processes = processes
+        self._telemetry = telemetry
 
     def resolve(self, scenario: Union[str, ScenarioSpec]) -> ScenarioSpec:
         if isinstance(scenario, ScenarioSpec):
@@ -131,28 +177,41 @@ class Runner:
         backend: Union[str, Backend, None] = None,
         seed: Optional[int] = None,
         params: Optional[Mapping[str, Any]] = None,
+        telemetry=None,
         **overrides: Any,
     ) -> ScenarioResult:
-        spec = self.resolve(scenario)
-        chosen = backend if backend is not None else self._backend
-        if isinstance(chosen, Backend):
-            spec = spec.with_overrides(seed=seed, params=params, **overrides)
-            resolved = chosen
-        else:
-            spec = spec.with_overrides(
-                backend=chosen, seed=seed, params=params, **overrides
-            )
-            resolved = select_backend(spec.backend, processes=self._processes)
-        if spec.kind in BACKEND_AGNOSTIC_KINDS and resolved.name != "auto":
-            raise ScenarioError(
-                f"scenario kind {spec.kind!r} does not consult a backend "
-                f"(its drivers pick their own engines); drop the "
-                f"{resolved.name!r} backend selection"
-            )
-        rng = random.Random(spec.seed)
-        start = time.perf_counter()  # repro-lint: disable=RPR003 -- provenance timing only: elapsed_seconds is recorded in the result envelope and excluded from scenario diffs; no verdict reads it
-        rows, summary = execute(spec, resolved, rng)
-        elapsed = time.perf_counter() - start  # repro-lint: disable=RPR003 -- provenance timing only: see above
+        from ..telemetry import current as telemetry_current
+
+        telem = telemetry if telemetry is not None else self._telemetry
+        if telem is None:
+            telem = telemetry_current()
+        with use_telemetry(telem):
+            with telem.phase("resolve"):
+                spec = self.resolve(scenario)
+                chosen = backend if backend is not None else self._backend
+                if isinstance(chosen, Backend):
+                    spec = spec.with_overrides(
+                        seed=seed, params=params, **overrides
+                    )
+                    resolved = chosen
+                else:
+                    spec = spec.with_overrides(
+                        backend=chosen, seed=seed, params=params, **overrides
+                    )
+                    resolved = select_backend(
+                        spec.backend, processes=self._processes
+                    )
+            if spec.kind in BACKEND_AGNOSTIC_KINDS and resolved.name != "auto":
+                raise ScenarioError(
+                    f"scenario kind {spec.kind!r} does not consult a backend "
+                    f"(its drivers pick their own engines); drop the "
+                    f"{resolved.name!r} backend selection"
+                )
+            rng = random.Random(spec.seed)
+            start = time.perf_counter()  # repro-lint: disable=RPR003 -- provenance timing only: elapsed_seconds is recorded in the result envelope and excluded from scenario diffs; no verdict reads it
+            with telem.phase("execute"):
+                rows, summary = execute(spec, resolved, rng)
+            elapsed = time.perf_counter() - start  # repro-lint: disable=RPR003 -- provenance timing only: see above
         if "ok" not in summary:
             raise ScenarioError(
                 f"executor for kind {spec.kind!r} returned no 'ok' verdict"
@@ -163,4 +222,5 @@ class Runner:
             rows=rows,
             summary=summary,
             elapsed_seconds=elapsed,
+            telemetry=telem.snapshot() if telem.enabled else None,
         )

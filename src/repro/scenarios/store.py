@@ -15,12 +15,15 @@ versioned schema (``repro.scenario-result/v1``):
       "rows":        the outcome table (list of flat dicts),
       "summary":     scenario-level aggregates incl. boolean "ok",
       "timings":     {"elapsed_seconds": float},
-      "environment": {"python", "implementation", "platform"}
+      "environment": {"python", "implementation", "platform",
+                      "numpy", "kernel"},
+      "telemetry":   optional repro.telemetry/v1 snapshot
     }
 
-``rows`` + ``spec_hash`` are the *comparable* part; ``timings`` and
-``environment`` are provenance and excluded from diffs.  Validation is
-hand-rolled (no jsonschema dependency in the image).
+``rows`` + ``spec_hash`` are the *comparable* part; ``timings``,
+``environment`` and ``telemetry`` are provenance and excluded from
+diffs.  Validation is hand-rolled (no jsonschema dependency in the
+image).
 """
 
 from __future__ import annotations
@@ -62,6 +65,17 @@ def validate_payload(payload: dict) -> None:
         _check(isinstance(payload.get(key), typ),
                f"field {key!r} missing or not a {typ.__name__}")
     _check(len(payload["spec_hash"]) == 16, "spec_hash is not 16 hex chars")
+    telemetry = payload.get("telemetry")
+    if telemetry is not None:  # optional provenance, schema-checked when present
+        from ..telemetry import SCHEMA as TELEMETRY_SCHEMA
+
+        _check(isinstance(telemetry, dict), "telemetry is not an object")
+        _check(telemetry.get("schema") == TELEMETRY_SCHEMA,
+               f"telemetry schema is {telemetry.get('schema')!r}, "
+               f"expected {TELEMETRY_SCHEMA!r}")
+        for key in ("counters", "spans", "phases", "events"):
+            _check(isinstance(telemetry.get(key), dict),
+                   f"telemetry field {key!r} missing or not an object")
     _check("ok" in payload["summary"] and isinstance(payload["summary"]["ok"], bool),
            "summary lacks a boolean 'ok'")
     for idx, row in enumerate(payload["rows"]):

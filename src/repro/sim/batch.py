@@ -165,11 +165,19 @@ def _picklable(jobs: Sequence) -> bool:
     # Probe the whole batch: heterogeneous batches may hold an unpicklable
     # agent in any position, and crashing the pool mid-map is exactly what
     # the serial fallback exists to avoid.
+    from ..telemetry import current as _telemetry
+
+    t = _telemetry()
     try:
         pickle.dumps(list(jobs))
+        if t.enabled:
+            t.count("batch.probe.picklable")
         return True
     # repro-lint: disable=RPR002 -- pickling probe: "cannot pickle" is this function's False answer, whatever exception type the payload's reduce hooks raise; the serial fallback is the surfacing
     except Exception:
+        if t.enabled:
+            t.count("batch.probe.unpicklable")
+            t.event("batch.probe.unpicklable", jobs=len(jobs))
         return False
 
 
@@ -199,14 +207,23 @@ def _fan_out(
     processes: Optional[int],
     chunksize: Optional[int],
 ) -> list[_O]:
+    from ..telemetry import current as _telemetry
+
     jobs = list(jobs)
     if not jobs:
         return []
     if processes is None:
         processes = os.cpu_count() or 1
     processes = min(processes, len(jobs))
+    t = _telemetry()
     if processes <= 1 or not _picklable(jobs):
+        if t.enabled:
+            t.count("batch.serial_fallback")
+            t.event("batch.serial", jobs=len(jobs), processes=processes)
         return _run_serial(jobs, run_one)
+    if t.enabled:
+        t.count("batch.pool.spawned")
+        t.event("batch.pool", jobs=len(jobs), processes=processes)
 
     import multiprocessing
 

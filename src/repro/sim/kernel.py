@@ -56,6 +56,7 @@ except Exception:  # pragma: no cover - exercised via kernel_available()
 from ..agents.automaton import Automaton
 from ..agents.observations import STAY
 from ..errors import BudgetExceededError, SimulationError
+from ..telemetry import current as _telemetry
 from ..trees.tree import Tree
 from .compiled import _INVALID, DelayVerdict, compile_agent, solve_all_delays
 from .gathering_solver import GatheringVerdict, solve_gathering
@@ -186,6 +187,10 @@ def kernel_cache_dir() -> Optional[Path]:
 def _quarantine(path: Path) -> None:
     """Move a bad cache file aside (never delete evidence, never crash
     the sweep) — mirrors ``ResultStore``'s corrupt-file handling."""
+    t = _telemetry()
+    if t.enabled:
+        t.count("kernel.table.quarantine")
+        t.event("kernel.table.quarantine", path=str(path))
     try:
         os.replace(path, path.with_name(path.name + ".corrupt"))
     except OSError:  # pragma: no cover - racing cleaners are fine
@@ -293,11 +298,14 @@ def agent_table(automaton: Automaton, tree: Tree) -> AgentTable:
     then the on-disk cache (when configured), then a vectorized build
     (persisted back when a cache directory is configured)."""
     _require_kernel()
+    t = _telemetry()
     per_tree = None
     try:
         per_tree = _TABLE_CACHE.setdefault(automaton, weakref.WeakKeyDictionary())
         table = per_tree.get(tree)
         if table is not None:
+            if t.enabled:
+                t.count("kernel.table.memo_hit")
             return table
     except TypeError:  # pragma: no cover - not weak-referenceable
         per_tree = None
@@ -318,8 +326,15 @@ def agent_table(automaton: Automaton, tree: Tree) -> AgentTable:
     if cache_dir is not None:
         path = cache_dir / f"{table_cache_key(automaton, tree)}.npy"
         succ = _load_table_file(path, expected)
+        if succ is not None and t.enabled:
+            t.count("kernel.table.disk_hit")
     if succ is None:
-        succ = _build_succ(compiled, tree)
+        with t.span("kernel/table_build"):
+            succ = _build_succ(compiled, tree)
+        if t.enabled:
+            t.count("kernel.table.build")
+            t.event("kernel.table.build", entries=int(expected),
+                    persisted=path is not None)
         if path is not None:
             _save_table_file(path, succ)
     table = AgentTable(
@@ -381,6 +396,7 @@ def _joint_fates(
     n = tables[0].n
 
     any_invalid = any(t.has_invalid for t in tables)
+    telem = _telemetry()
     step = 0  # rounds advanced past the entry configurations
     brent_steps = 0
     brent_power = 1
@@ -422,6 +438,9 @@ def _joint_fates(
             brent_power <<= 1
         work += lanes.size
         if max_configs is not None and work > max_configs:
+            if telem.enabled:
+                _note_frontier(telem, m, step, work, max_configs,
+                               budget_exceeded=True)
             raise BudgetExceededError(
                 f"sweep kernel exceeded max_configs={max_configs}"
             )
@@ -434,7 +453,36 @@ def _joint_fates(
                         "the dict solver will surface the live error"
                     )
         step += 1
+    if telem.enabled:
+        _note_frontier(telem, m, step, work, max_configs,
+                       budget_exceeded=False)
     return met, dist, undecided
+
+
+def _note_frontier(
+    telem, lanes_entered: int, steps: int, work: int,
+    max_configs: Optional[int], *, budget_exceeded: bool,
+) -> None:
+    """Per-call frontier accounting (outside the hot loop on purpose:
+    one event per frontier, never one per step).
+
+    ``work`` is cumulative live-lane steps; ``compaction`` relates it to
+    the uncompacted cost ``lanes_entered * steps`` — low means decided
+    lanes were dropped early and the gathers touched little dead work.
+    """
+    telem.count("kernel.frontier.calls")
+    telem.count("kernel.frontier.lanes", lanes_entered)
+    telem.count("kernel.frontier.steps", steps)
+    telem.count("kernel.frontier.lane_steps", work)
+    if budget_exceeded:
+        telem.count("kernel.frontier.budget_exceeded")
+    dense = lanes_entered * steps
+    telem.event(
+        "kernel.frontier",
+        lanes=int(lanes_entered), steps=int(steps), lane_steps=int(work),
+        compaction=round(work / dense, 4) if dense else 1.0,
+        budget=max_configs, budget_exceeded=budget_exceeded,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -854,15 +902,24 @@ def solve_all_delays_auto(
     :class:`~repro.errors.BudgetExceededError` only when the *dict*
     solver's guard genuinely trips).
     """
+    t = _telemetry()
     if faults is None and kernel_available():
         try:
-            return solve_all_delays_kernel(
+            verdicts = solve_all_delays_kernel(
                 tree, prototype, start1, start2,
                 max_delay=max_delay, delayed_sides=delayed_sides,
                 max_configs=max_configs, prototype2=prototype2,
             )
-        except (KernelUnsupported, BudgetExceededError):
-            pass
+            if t.enabled:
+                t.count("kernel.dispatch.delays.kernel")
+            return verdicts
+        except (KernelUnsupported, BudgetExceededError) as exc:
+            if t.enabled:
+                t.count(f"kernel.fallback.{type(exc).__name__}")
+                t.event("kernel.fallback", solver="delays",
+                        reason=type(exc).__name__, detail=str(exc))
+    if t.enabled:
+        t.count("kernel.dispatch.delays.dict")
     return solve_all_delays(
         tree, prototype, start1, start2,
         max_delay=max_delay, delayed_sides=delayed_sides,
@@ -883,14 +940,23 @@ def solve_gathering_auto(
     """Kernel-dispatched
     :func:`~repro.sim.gathering_solver.solve_gathering` (see
     :func:`solve_all_delays_auto` for the dispatch rules)."""
+    t = _telemetry()
     if faults is None and kernel_available():
         try:
-            return solve_gathering_kernel(
+            verdicts = solve_gathering_kernel(
                 tree, prototype, starts, delay_vectors,
                 max_configs=max_configs, prototypes=prototypes,
             )
-        except (KernelUnsupported, BudgetExceededError):
-            pass
+            if t.enabled:
+                t.count("kernel.dispatch.gathering.kernel")
+            return verdicts
+        except (KernelUnsupported, BudgetExceededError) as exc:
+            if t.enabled:
+                t.count(f"kernel.fallback.{type(exc).__name__}")
+                t.event("kernel.fallback", solver="gathering",
+                        reason=type(exc).__name__, detail=str(exc))
+    if t.enabled:
+        t.count("kernel.dispatch.gathering.dict")
     return solve_gathering(
         tree, prototype, starts, delay_vectors,
         max_configs=max_configs, prototypes=prototypes, faults=faults,

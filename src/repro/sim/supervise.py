@@ -51,6 +51,11 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Sequence, Union
 
+from ..telemetry import (
+    Telemetry,
+    current as _telemetry,
+    use as _use_telemetry,
+)
 from .batch import (
     BatchJob,
     GatheringJob,
@@ -86,12 +91,21 @@ class JobFailure:
     mid-job on every attempt), or ``"error"`` (the job itself raised —
     deterministic, never retried).  ``attempts`` counts executions
     performed, including the failing one.
+
+    ``duration_seconds`` is the total wall-clock spent across all
+    attempts and ``attempt_seconds`` the per-attempt breakdown (both
+    monotonic deltas — wall timestamps never enter result rows, per the
+    determinism contract), so checkpoint-resumed sweeps can report time
+    lost to retries.  They default to zero/empty so positional
+    construction from older call sites stays valid.
     """
 
     index: int
     kind: str
     message: str
     attempts: int
+    duration_seconds: float = 0.0
+    attempt_seconds: tuple[float, ...] = ()
 
 
 def job_fingerprint(index: int, job: Union[BatchJob, GatheringJob]) -> str:
@@ -239,13 +253,21 @@ def run_gathering_batch_supervised(
     return _supervise(jobs, "gathering", processes, timeout, retries, backoff, checkpoint)
 
 
-def _worker_loop(conn, kind: str) -> None:  # pragma: no cover - child process
+def _worker_loop(conn, kind: str, collect: bool = False) -> None:  # pragma: no cover - child process
     """One pool worker: recv ``(index, attempt, job)``, run, send back.
 
+    Replies are 5-tuples ``(tag, index, attempt, payload, telemetry)``.
     Results are sent as *encoded* dicts (see :func:`encode_outcome`) so
     the reply never drags agent objects or traces through the pipe.  A
     job exception is reported, not raised — the worker stays healthy for
     the next assignment.  ``None`` (or a closed pipe) means shut down.
+
+    With ``collect=True`` each job runs under a fresh worker-local
+    :class:`~repro.telemetry.Telemetry` and its
+    :meth:`~repro.telemetry.Telemetry.export_batch` rides back in the
+    reply's fifth slot (``None`` otherwise — and on the error path the
+    partial batch still ships, so cache/fallback counters accrued before
+    the exception are not lost) for the supervisor to merge.
 
     ``KeyboardInterrupt`` / ``SystemExit`` are *never* absorbed into an
     error payload: a ^C must kill the worker (non-zero exit, visible to
@@ -259,11 +281,19 @@ def _worker_loop(conn, kind: str) -> None:  # pragma: no cover - child process
             if msg is None:
                 return
             index, attempt, job = msg
+            telem = Telemetry() if collect else None
             try:
-                payload = ("ok", index, attempt, encode_outcome(run_one(job)))
+                if telem is not None:
+                    with _use_telemetry(telem):
+                        encoded = encode_outcome(run_one(job))
+                else:
+                    encoded = encode_outcome(run_one(job))
+                batch = telem.export_batch() if telem is not None else None
+                payload = ("ok", index, attempt, encoded, batch)
             # repro-lint: disable=RPR002 -- deliberate job-error capture: the failure is surfaced structurally as an ("error", ...) payload the supervisor turns into a JobFailure row; KeyboardInterrupt/SystemExit still propagate past Exception
             except Exception as exc:
-                payload = ("error", index, attempt, f"{type(exc).__name__}: {exc}")
+                batch = telem.export_batch() if telem is not None else None
+                payload = ("error", index, attempt, f"{type(exc).__name__}: {exc}", batch)
             conn.send(payload)
     except (EOFError, OSError):
         return  # supervisor hung up: clean shutdown
@@ -277,7 +307,9 @@ class _Worker:
     def __init__(self, proc, conn):
         self.proc = proc
         self.conn = conn
-        self.busy: Optional[tuple[int, int, float]] = None  # (index, attempt, deadline)
+        # (index, attempt, deadline, started_at) — started_at feeds the
+        # per-attempt durations reported on JobFailure rows.
+        self.busy: Optional[tuple[int, int, float, float]] = None
 
     def kill(self) -> None:
         try:
@@ -288,9 +320,9 @@ class _Worker:
         self.proc.join()
 
 
-def _spawn(ctx, kind: str) -> _Worker:
+def _spawn(ctx, kind: str, collect: bool = False) -> _Worker:
     parent_conn, child_conn = ctx.Pipe(duplex=True)
-    proc = ctx.Process(target=_worker_loop, args=(child_conn, kind), daemon=True)
+    proc = ctx.Process(target=_worker_loop, args=(child_conn, kind, collect), daemon=True)
     proc.start()
     # Close our copy of the child end: the parent's recv must see EOF the
     # moment the worker dies, not hang on a half-open pipe.
@@ -350,12 +382,25 @@ def _supervise(
     except ValueError:  # pragma: no cover - non-POSIX platforms
         ctx = multiprocessing.get_context()
 
+    telem = _telemetry()
+    collect = telem.enabled
+
     # (ready_at, index, attempt): attempt is the number this execution
     # *will* be; backoff pushes ready_at into the future instead of
     # blocking the supervisor.
     queue: list[tuple[float, int, int]] = [(0.0, i, 1) for i in pending]
     remaining = len(pending)
-    workers = [_spawn(ctx, kind) for _ in range(processes)]
+    workers = [_spawn(ctx, kind, collect) for _ in range(processes)]
+    # Per-index attempt durations (monotonic deltas), accumulated across
+    # retries so a final JobFailure can report total time lost.
+    durations: dict[int, list[float]] = {}
+
+    def record_attempt(index: int, started_at: float) -> float:
+        elapsed = time.monotonic() - started_at
+        durations.setdefault(index, []).append(elapsed)
+        if collect:
+            telem.add_span("supervise/job", elapsed)
+        return elapsed
 
     def settle(index: int, value) -> None:
         nonlocal remaining
@@ -363,11 +408,33 @@ def _supervise(
         remaining -= 1
 
     def retry_or_fail(index: int, attempt: int, fail_kind: str, message: str) -> None:
+        if collect:
+            telem.count(f"supervise.job.{fail_kind}")
         if attempt <= retries:
+            if collect:
+                telem.count("supervise.job.retry")
             ready_at = time.monotonic() + backoff * (2 ** (attempt - 1))
             queue.append((ready_at, index, attempt + 1))
         else:
-            settle(index, JobFailure(index, fail_kind, message, attempt))
+            spent = tuple(round(d, 6) for d in durations.get(index, ()))
+            failure = JobFailure(
+                index,
+                fail_kind,
+                message,
+                attempt,
+                duration_seconds=round(sum(spent), 6),
+                attempt_seconds=spent,
+            )
+            if collect:
+                telem.count("supervise.job.failed")
+                telem.event(
+                    "supervise.job_failed",
+                    index=index,
+                    kind=fail_kind,
+                    attempts=attempt,
+                    duration_seconds=failure.duration_seconds,
+                )
+            settle(index, failure)
 
     def reap(worker: _Worker, message: str) -> None:
         """A worker died or was preempted mid-job: account for the job,
@@ -376,11 +443,14 @@ def _supervise(
         worker.kill()
         workers.remove(worker)
         if assignment is not None:
-            index, attempt, _ = assignment
+            index, attempt, _, started_at = assignment
+            record_attempt(index, started_at)
             fail_kind = "timeout" if message.startswith("timed out") else "crash"
             retry_or_fail(index, attempt, fail_kind, message)
         if remaining > len(workers):
-            workers.append(_spawn(ctx, kind))
+            if collect:
+                telem.count("supervise.worker.respawn")
+            workers.append(_spawn(ctx, kind, collect))
 
     try:
         while remaining:
@@ -401,7 +471,9 @@ def _supervise(
                     reap(worker, "worker pipe broke on dispatch")
                     break
                 deadline = now + timeout if timeout is not None else math.inf
-                worker.busy = (index, attempt, deadline)
+                worker.busy = (index, attempt, deadline, time.monotonic())
+                if collect:
+                    telem.count("supervise.job.started")
 
             busy_conns = {w.conn: w for w in workers if w.busy is not None}
             if busy_conns:
@@ -416,35 +488,67 @@ def _supervise(
             for conn in ready:
                 worker = busy_conns[conn]
                 try:
-                    tag, index, attempt, payload = conn.recv()
+                    tag, index, attempt, payload, batch = conn.recv()
                 except (EOFError, OSError):
                     reap(worker, "worker process died mid-job")
                     continue
                 if worker.busy is None or (index, attempt) != worker.busy[:2]:
                     continue  # stale reply from a superseded attempt
+                started_at = worker.busy[3]
                 worker.busy = None
+                elapsed = record_attempt(index, started_at)
+                if collect and batch is not None:
+                    telem.merge(batch)
                 if tag == "ok":
+                    if collect:
+                        telem.count("supervise.job.finished")
                     settle(index, decode_outcome(payload))
                     if ckpt is not None:
                         ckpt.append(fingerprints[index], payload)
                 else:
                     # In-job exceptions are deterministic: retrying would
                     # reproduce them, so fail the slot immediately.
-                    settle(index, JobFailure(index, "error", payload, attempt))
+                    spent = tuple(round(d, 6) for d in durations.get(index, ()))
+                    if collect:
+                        telem.count("supervise.job.error")
+                        telem.count("supervise.job.failed")
+                        telem.event(
+                            "supervise.job_failed",
+                            index=index,
+                            kind="error",
+                            attempts=attempt,
+                            duration_seconds=round(elapsed, 6),
+                        )
+                    settle(
+                        index,
+                        JobFailure(
+                            index,
+                            "error",
+                            payload,
+                            attempt,
+                            duration_seconds=round(sum(spent), 6),
+                            attempt_seconds=spent,
+                        ),
+                    )
 
             # Deadline and liveness sweep (copy: reap mutates workers).
             now = time.monotonic()
             for worker in list(workers):
                 if worker.busy is None:
                     continue
-                index, attempt, deadline = worker.busy
+                index, attempt, deadline, started_at = worker.busy
                 if not worker.proc.is_alive():
                     # Drain a reply that raced ahead of the death notice.
                     try:
                         if worker.conn.poll():
-                            tag, r_index, r_attempt, payload = worker.conn.recv()
+                            tag, r_index, r_attempt, payload, batch = worker.conn.recv()
                             if tag == "ok" and (r_index, r_attempt) == (index, attempt):
                                 worker.busy = None
+                                record_attempt(index, started_at)
+                                if collect:
+                                    if batch is not None:
+                                        telem.merge(batch)
+                                    telem.count("supervise.job.finished")
                                 settle(index, decode_outcome(payload))
                                 if ckpt is not None:
                                     ckpt.append(fingerprints[index], payload)
@@ -478,18 +582,45 @@ def _supervise_serial(
     process).  Outcomes round-trip through the codec so serial and
     pooled runs return identical objects (no trace/agents)."""
     run_one = _run_job if kind == "rendezvous" else _run_gathering_job
+    telem = _telemetry()
+    collect = telem.enabled
     seeded = any(jobs[i].seed is not None for i in pending)
     state = random.getstate() if seeded else None
     try:
         for i in pending:
+            started_at = time.monotonic()
+            if collect:
+                telem.count("supervise.job.started")
             try:
                 payload = encode_outcome(run_one(jobs[i]))
             except KeyboardInterrupt:
                 raise
             # repro-lint: disable=RPR002 -- deliberate job-error capture: the failure is surfaced structurally as a JobFailure row (same contract as the pooled path); KeyboardInterrupt re-raised above, SystemExit propagates past Exception
             except Exception as exc:
-                results[i] = JobFailure(i, "error", f"{type(exc).__name__}: {exc}", 1)
+                elapsed = round(time.monotonic() - started_at, 6)
+                if collect:
+                    telem.add_span("supervise/job", elapsed)
+                    telem.count("supervise.job.error")
+                    telem.count("supervise.job.failed")
+                    telem.event(
+                        "supervise.job_failed",
+                        index=i,
+                        kind="error",
+                        attempts=1,
+                        duration_seconds=elapsed,
+                    )
+                results[i] = JobFailure(
+                    i,
+                    "error",
+                    f"{type(exc).__name__}: {exc}",
+                    1,
+                    duration_seconds=elapsed,
+                    attempt_seconds=(elapsed,),
+                )
                 continue
+            if collect:
+                telem.add_span("supervise/job", time.monotonic() - started_at)
+                telem.count("supervise.job.finished")
             results[i] = decode_outcome(payload)
             if ckpt is not None:
                 ckpt.append(fingerprints[i], payload)

@@ -518,12 +518,17 @@ class TraceCache:
     ) -> SoloTrace:
         import weakref
 
+        from ..telemetry import current as _telemetry
+
+        t = _telemetry()
         try:
             per_tree = self._by_proto.get(prototype)
             if per_tree is None:
                 per_tree = weakref.WeakKeyDictionary()
                 self._by_proto[prototype] = per_tree
         except TypeError:  # prototype not weak-referenceable
+            if t.enabled:
+                t.count("trace.cache.uncacheable")
             return SoloTrace(tree, prototype, start, use_keys=use_keys)
         entry = per_tree.get(tree)
         if entry is None:
@@ -537,12 +542,18 @@ class TraceCache:
                 src = traces.get(f[start])
                 if type(src) is SoloTrace:  # never chain mirrors
                     trace = MirrorTrace(src, f)
+                    if t.enabled:
+                        t.count("trace.cache.mirror")
             if trace is None:
                 trace = SoloTrace(
                     tree, prototype, start,
                     use_keys=use_keys, merge_registry=registry,
                 )
+                if t.enabled:
+                    t.count("trace.cache.miss")
             traces[start] = trace
+        elif t.enabled:
+            t.count("trace.cache.hit")
         return trace
 
     def clear(self) -> None:

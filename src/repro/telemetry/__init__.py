@@ -1,0 +1,54 @@
+"""Structured tracing, metrics, and profiling hooks (zero-dependency).
+
+The stack runs four execution tiers (reference, compiled, traced,
+kernel), a supervised multiprocess pool, and an on-disk kernel cache —
+this package is how you *see* what actually happened: which tier a
+dispatch chose, whether the memmap cache hit, how frontier lanes
+compacted, where wall-clock went.
+
+Three primitives, one process-local context:
+
+- **counters** — monotone named integers (``kernel.table.disk_hit``);
+- **spans** — named duration aggregates timed with the monotonic clock
+  (count + total seconds; ``phase/execute``);
+- **events** — structured records streamed to an optional JSONL sink,
+  aggregated in-memory as per-name counts.
+
+The ambient context is a :mod:`contextvars` variable defaulting to
+:data:`NULL_TELEMETRY`, whose every operation is a no-op behind an
+``enabled`` flag — instrumented hot seams pay one contextvar read and
+one attribute check when telemetry is off, so fault-free goldens and
+bench numbers stay byte-identical.  Activate with
+:func:`use` (or the ``telemetry=`` seam on
+:class:`~repro.scenarios.runner.Runner`); supervised pool workers run
+each job under a fresh context and serialize the batch back over the
+existing pipe protocol.
+
+Determinism contract: span timing uses the monotonic clock only, inside
+this package only (``repro.lint`` RPR003 allowlists exactly that), and
+no event payload ever carries wall time — telemetry must be
+observationally inert on verdict rows.
+"""
+
+from .core import (
+    SCHEMA,
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Telemetry,
+    current,
+    use,
+)
+from .sinks import JsonlSink, aggregate_events, read_events, summary_rows
+
+__all__ = [
+    "SCHEMA",
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "Telemetry",
+    "current",
+    "use",
+    "JsonlSink",
+    "aggregate_events",
+    "read_events",
+    "summary_rows",
+]

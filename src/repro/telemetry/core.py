@@ -1,0 +1,220 @@
+"""The telemetry context: counters, spans, events, and the contextvar.
+
+Everything here is stdlib-only and import-leaf (no sim/scenarios
+imports), so any layer of the stack can instrument itself without
+cycles.  Span timing reads :func:`time.monotonic` — the only clock this
+package may touch (RPR003 allowlists ``telemetry/`` for the monotonic
+family only; wall time must never reach an event payload).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import time
+from typing import Any, Iterator, Optional
+
+__all__ = [
+    "SCHEMA",
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "Telemetry",
+    "current",
+    "use",
+]
+
+SCHEMA = "repro.telemetry/v1"
+
+
+class _NullSpan:
+    """A reusable no-op context manager (one shared instance, no
+    allocation per ``span()`` call on the disabled path)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTelemetry:
+    """The default, disabled context: every operation is a no-op.
+
+    Instrumented seams guard with ``if t.enabled:`` so the off path
+    costs one contextvar read plus one attribute check — cheap enough
+    to leave in the kernel dispatch and cache lookups permanently.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+
+    def count(self, name: str, n: int = 1) -> None:
+        return None
+
+    def event(self, name: str, **fields: Any) -> None:
+        return None
+
+    def span(self, name: str) -> _NullSpan:
+        return _NULL_SPAN
+
+    def phase(self, name: str) -> _NullSpan:
+        return _NULL_SPAN
+
+    def add_span(self, name: str, seconds: float, n: int = 1) -> None:
+        return None
+
+    def merge(self, batch: Optional[dict]) -> None:
+        return None
+
+    def snapshot(self) -> None:
+        return None
+
+
+NULL_TELEMETRY = NullTelemetry()
+
+
+class _Span:
+    """One timed region; records into its owner on exit."""
+
+    __slots__ = ("_owner", "_name", "_phase", "_t0")
+
+    def __init__(self, owner: "Telemetry", name: str, phase: bool):
+        self._owner = owner
+        self._name = name
+        self._phase = phase
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._t0 = time.monotonic()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        elapsed = time.monotonic() - self._t0
+        self._owner.add_span(self._name, elapsed)
+        if self._phase:
+            phases = self._owner.phases
+            phases[self._name] = phases.get(self._name, 0.0) + elapsed
+
+
+class Telemetry:
+    """An active telemetry context: aggregates in-memory, streams to an
+    optional sink.
+
+    In-memory state is bounded regardless of run length: counters and
+    span aggregates are per-name, and events are kept as per-name
+    *counts* — the full structured records go to ``sink`` (a
+    :class:`~repro.telemetry.sinks.JsonlSink` or anything with an
+    ``emit(record: dict)`` method) when one is attached.
+    """
+
+    enabled = True
+
+    __slots__ = ("counters", "spans", "phases", "events", "sink")
+
+    def __init__(self, sink: Optional[Any] = None):
+        self.counters: dict[str, int] = {}
+        self.spans: dict[str, list] = {}  # name -> [count, total_seconds]
+        self.phases: dict[str, float] = {}
+        self.events: dict[str, int] = {}
+        self.sink = sink
+
+    # -- primitives ----------------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def event(self, name: str, **fields: Any) -> None:
+        self.events[name] = self.events.get(name, 0) + 1
+        if self.sink is not None:
+            self.sink.emit({"event": name, **fields})
+
+    def span(self, name: str) -> _Span:
+        return _Span(self, name, phase=False)
+
+    def phase(self, name: str) -> _Span:
+        return _Span(self, name, phase=True)
+
+    def add_span(self, name: str, seconds: float, n: int = 1) -> None:
+        """Record an externally-timed duration (the supervised pool times
+        jobs with its own allowlisted clocks)."""
+        agg = self.spans.get(name)
+        if agg is None:
+            self.spans[name] = [n, seconds]
+        else:
+            agg[0] += n
+            agg[1] += seconds
+        if self.sink is not None:
+            self.sink.emit({"event": "span", "name": name,
+                            "seconds": round(seconds, 6)})
+
+    # -- worker batches ------------------------------------------------
+
+    def export_batch(self) -> dict:
+        """A JSON/pickle-safe batch for crossing a process boundary."""
+        return {
+            "counters": dict(self.counters),
+            "spans": {k: list(v) for k, v in self.spans.items()},
+            "phases": dict(self.phases),
+            "events": dict(self.events),
+        }
+
+    def merge(self, batch: Optional[dict]) -> None:
+        """Fold a worker's :meth:`export_batch` into this context."""
+        if not batch:
+            return
+        for name, n in batch.get("counters", {}).items():
+            self.count(name, n)
+        for name, (n, seconds) in batch.get("spans", {}).items():
+            agg = self.spans.get(name)
+            if agg is None:
+                self.spans[name] = [n, seconds]
+            else:
+                agg[0] += n
+                agg[1] += seconds
+        for name, seconds in batch.get("phases", {}).items():
+            self.phases[name] = self.phases.get(name, 0.0) + seconds
+        for name, n in batch.get("events", {}).items():
+            self.events[name] = self.events.get(name, 0) + n
+
+    # -- output --------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The schema-versioned aggregate (the ``telemetry`` block in
+        ``ScenarioResult.to_payload()``)."""
+        return {
+            "schema": SCHEMA,
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "spans": {
+                k: {"count": v[0], "seconds": round(v[1], 6)}
+                for k, v in sorted(self.spans.items())
+            },
+            "phases": {k: round(v, 6) for k, v in sorted(self.phases.items())},
+            "events": {k: self.events[k] for k in sorted(self.events)},
+        }
+
+
+_CURRENT: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_telemetry", default=NULL_TELEMETRY
+)
+
+
+def current():
+    """The ambient telemetry context (:data:`NULL_TELEMETRY` unless a
+    caller activated one with :func:`use`)."""
+    return _CURRENT.get()
+
+
+@contextlib.contextmanager
+def use(telemetry) -> Iterator[Any]:
+    """Make ``telemetry`` the ambient context for the dynamic extent."""
+    token = _CURRENT.set(telemetry)
+    try:
+        yield telemetry
+    finally:
+        _CURRENT.reset(token)

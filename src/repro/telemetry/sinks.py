@@ -1,0 +1,121 @@
+"""Event sinks and offline aggregation for telemetry streams.
+
+:class:`JsonlSink` appends one JSON object per line and flushes per
+record, so a killed sweep loses at most one torn tail line —
+:func:`read_events` tolerates exactly that (the same contract as
+:class:`~repro.sim.supervise.SweepCheckpoint`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterable, Union
+
+__all__ = ["JsonlSink", "read_events", "aggregate_events", "summary_rows"]
+
+
+class JsonlSink:
+    """Append-only JSONL event stream (one dict per line).
+
+    The file is opened lazily on the first :meth:`emit` and appended to,
+    so several runs can share one stream.  Write failures raise — a
+    caller who asked for an event stream should not silently lose it.
+    """
+
+    def __init__(self, path: Union[str, os.PathLike]):
+        self.path = Path(path)
+        self._fh = None
+
+    def emit(self, record: dict) -> None:
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = self.path.open("a")
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+def read_events(path: Union[str, os.PathLike]) -> tuple[list[dict], int]:
+    """Parse a JSONL event stream; ``(records, skipped)``.
+
+    Anything that does not parse as a JSON object with an ``"event"``
+    key is skipped and counted — a torn tail (the writer died mid-line)
+    or a foreign line costs one record, never the file.
+    """
+    records: list[dict] = []
+    skipped = 0
+    p = Path(path)
+    if not p.exists():
+        return records, skipped
+    for line in p.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rec = json.loads(line)
+        except ValueError:
+            skipped += 1
+            continue
+        if not isinstance(rec, dict) or "event" not in rec:
+            skipped += 1
+            continue
+        records.append(rec)
+    return records, skipped
+
+
+def aggregate_events(records: Iterable[dict]) -> dict:
+    """Fold an event stream back into a snapshot-shaped aggregate.
+
+    ``span`` events rebuild the span aggregates; everything else becomes
+    a per-name event count.  The result matches
+    :meth:`~repro.telemetry.core.Telemetry.snapshot` minus counters
+    (counters are in-memory aggregates, never streamed per-increment).
+    """
+    from .core import SCHEMA
+
+    spans: dict[str, list] = {}
+    events: dict[str, int] = {}
+    for rec in records:
+        name = rec["event"]
+        if name == "span" and "name" in rec:
+            agg = spans.setdefault(rec["name"], [0, 0.0])
+            agg[0] += 1
+            agg[1] += float(rec.get("seconds", 0.0))
+        else:
+            events[name] = events.get(name, 0) + 1
+    return {
+        "schema": SCHEMA,
+        "counters": {},
+        "spans": {
+            k: {"count": v[0], "seconds": round(v[1], 6)}
+            for k, v in sorted(spans.items())
+        },
+        "phases": {},
+        "events": {k: events[k] for k in sorted(events)},
+    }
+
+
+def summary_rows(snapshot: dict) -> list[dict]:
+    """Flatten a snapshot into table rows for ``format_rows``: one row
+    per metric, columns ``metric | kind | count | seconds``."""
+    rows: list[dict] = []
+    for name, seconds in snapshot.get("phases", {}).items():
+        rows.append({"metric": f"phase/{name}", "kind": "phase",
+                     "count": None, "seconds": round(seconds, 4)})
+    for name, agg in snapshot.get("spans", {}).items():
+        rows.append({"metric": name, "kind": "span",
+                     "count": agg["count"],
+                     "seconds": round(agg["seconds"], 4)})
+    for name, n in snapshot.get("counters", {}).items():
+        rows.append({"metric": name, "kind": "counter",
+                     "count": n, "seconds": None})
+    for name, n in snapshot.get("events", {}).items():
+        rows.append({"metric": name, "kind": "event",
+                     "count": n, "seconds": None})
+    return rows

@@ -36,6 +36,9 @@ SMOKE_ARGV = {
     "report": [],
     "experiments": ["--quick"],
     "scenarios": ["run", "delays-line"],
+    # offline aggregation over a committed sample stream (pytest runs
+    # from the repo root, same as the Makefile gates)
+    "telemetry": ["report", "tests/telemetry/sample_events.jsonl"],
 }
 
 

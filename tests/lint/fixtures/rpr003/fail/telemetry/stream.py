@@ -1,0 +1,14 @@
+"""RPR003 failing fixture: wall clock inside the telemetry layer.
+
+The telemetry directory is granted monotonic-family clocks for span
+timing, but absolute timestamps in event payloads are still a
+determinism violation.
+"""
+
+import time
+
+
+def stamp_event(record):
+    # BUG under RPR003: telemetry may measure durations, never moments
+    record["timestamp"] = time.time()
+    return record

@@ -1,0 +1,14 @@
+"""RPR003 passing fixture: monotonic-only span timing in telemetry."""
+
+import time
+from time import perf_counter
+
+
+def span_seconds():
+    started = time.monotonic()
+    return time.monotonic() - started
+
+
+def precise_span_seconds():
+    started = perf_counter()
+    return perf_counter() - started

@@ -114,8 +114,8 @@ def test_json_report_schema():
     assert doc["schema"] == SCHEMA == "repro.lint-report/v1"
     assert doc["paths"] == ["whatever"]
     assert doc["files"] == len(files)
-    assert doc["summary"]["total"] == len(findings) == 3
-    assert doc["summary"]["by_code"] == {"RPR003": 3}
+    assert doc["summary"]["total"] == len(findings) == 4
+    assert doc["summary"]["by_code"] == {"RPR003": 4}
     entry = doc["findings"][0]
     assert set(entry) == {"code", "rule", "path", "line", "col", "message"}
 
@@ -123,7 +123,7 @@ def test_json_report_schema():
 def test_text_report_summarizes_by_code():
     findings, files = run_on(FIXTURES / "rpr003" / "fail")
     out = render_text(findings, len(files))
-    assert "RPR003: 3" in out
+    assert "RPR003: 4" in out
     clean = render_text([], 7)
     assert clean == "clean: 0 findings across 7 file(s)"
 

@@ -25,7 +25,7 @@ def codes(findings) -> set[str]:
 CASES = [
     ("rpr001", "RPR001", 1),
     ("rpr002", "RPR002", 3),
-    ("rpr003", "RPR003", 3),
+    ("rpr003", "RPR003", 4),
     ("rpr004", "RPR004", 2),
     ("rpr006", "RPR006", 2),
 ]
@@ -58,6 +58,18 @@ def test_every_rule_has_a_fixture_pair():
     for sub in sorted(covered):
         assert list((FIXTURES / sub / "fail").rglob("*.py")), sub
         assert list((FIXTURES / sub / "ok").rglob("*.py")), sub
+
+
+def test_rpr003_telemetry_wall_clock_message_is_specific():
+    # telemetry/ gets monotonic clocks; a time.time() there must still
+    # fire, with the telemetry-specific message
+    findings = [
+        f for f in run_on(FIXTURES / "rpr003" / "fail")
+        if "telemetry" in f.path
+    ]
+    (finding,) = findings
+    assert "telemetry" in finding.message
+    assert "monotonic" in finding.message
 
 
 def test_rpr001_message_names_caller_and_callee():

@@ -1,0 +1,179 @@
+"""Unit tests for the telemetry primitives (repro.telemetry.core).
+
+The contract under test: counters/spans/events aggregate correctly,
+``export_batch``/``merge`` round-trip across a (simulated) process
+boundary, the contextvar plumbing restores cleanly, and the default
+``NullTelemetry`` is a complete no-op that still satisfies the full
+interface.
+"""
+
+import pytest
+
+from repro.telemetry import (
+    NULL_TELEMETRY,
+    SCHEMA,
+    NullTelemetry,
+    Telemetry,
+    current,
+    use,
+)
+
+
+class TestCounters:
+    def test_count_accumulates(self):
+        t = Telemetry()
+        t.count("a")
+        t.count("a", 2)
+        t.count("b")
+        snap = t.snapshot()
+        assert snap["counters"] == {"a": 3, "b": 1}
+
+    def test_snapshot_counters_are_sorted(self):
+        t = Telemetry()
+        for name in ("zeta", "alpha", "mid"):
+            t.count(name)
+        assert list(t.snapshot()["counters"]) == ["alpha", "mid", "zeta"]
+
+
+class TestSpans:
+    def test_span_records_count_and_seconds(self):
+        t = Telemetry()
+        with t.span("work"):
+            pass
+        with t.span("work"):
+            pass
+        snap = t.snapshot()
+        assert snap["spans"]["work"]["count"] == 2
+        assert snap["spans"]["work"]["seconds"] >= 0
+
+    def test_span_records_on_exception(self):
+        t = Telemetry()
+        with pytest.raises(ValueError):
+            with t.span("work"):
+                raise ValueError("boom")
+        assert t.snapshot()["spans"]["work"]["count"] == 1
+
+    def test_phase_shows_up_in_phases(self):
+        t = Telemetry()
+        with t.phase("resolve"):
+            pass
+        snap = t.snapshot()
+        assert "resolve" in snap["phases"]
+        assert snap["phases"]["resolve"] >= 0
+
+    def test_add_span_aggregates_externally_timed_work(self):
+        t = Telemetry()
+        t.add_span("job", 0.5)
+        t.add_span("job", 0.25, n=2)
+        span = t.snapshot()["spans"]["job"]
+        assert span["count"] == 3
+        assert span["seconds"] == pytest.approx(0.75)
+
+
+class TestEvents:
+    def test_events_count_per_name(self):
+        t = Telemetry()
+        t.event("fallback", reason="x")
+        t.event("fallback", reason="y")
+        assert t.snapshot()["events"] == {"fallback": 2}
+
+    def test_events_stream_to_sink(self):
+        emitted = []
+
+        class Sink:
+            def emit(self, record):
+                emitted.append(record)
+
+        t = Telemetry(sink=Sink())
+        t.event("fallback", reason="x")
+        assert emitted == [{"event": "fallback", "reason": "x"}]
+
+
+class TestBatchRoundTrip:
+    def test_export_then_merge_reproduces_aggregates(self):
+        src = Telemetry()
+        src.count("c", 3)
+        src.add_span("s", 1.5)
+        src.event("e")
+        with src.phase("p"):
+            pass
+
+        dst = Telemetry()
+        dst.count("c")
+        dst.merge(src.export_batch())
+        snap = dst.snapshot()
+        assert snap["counters"]["c"] == 4
+        assert snap["spans"]["s"] == {"count": 1, "seconds": 1.5}
+        assert snap["events"]["e"] == 1
+        assert "p" in snap["phases"]
+
+    def test_merge_none_batch_is_a_noop(self):
+        t = Telemetry()
+        t.count("c")
+        t.merge(None)
+        assert t.snapshot()["counters"] == {"c": 1}
+
+    def test_batch_is_plain_picklable_data(self):
+        import pickle
+
+        t = Telemetry()
+        t.count("c")
+        t.add_span("s", 0.1)
+        batch = pickle.loads(pickle.dumps(t.export_batch()))
+        fresh = Telemetry()
+        fresh.merge(batch)
+        assert fresh.snapshot()["counters"]["c"] == 1
+
+
+class TestSnapshotShape:
+    def test_schema_version(self):
+        assert Telemetry().snapshot()["schema"] == SCHEMA == "repro.telemetry/v1"
+
+    def test_all_sections_present_even_when_empty(self):
+        snap = Telemetry().snapshot()
+        for key in ("counters", "spans", "phases", "events"):
+            assert snap[key] == {}
+
+
+class TestContextPlumbing:
+    def test_default_is_the_null_telemetry(self):
+        assert current() is NULL_TELEMETRY
+        assert not current().enabled
+
+    def test_use_installs_and_restores(self):
+        t = Telemetry()
+        with use(t):
+            assert current() is t
+        assert current() is NULL_TELEMETRY
+
+    def test_use_restores_on_exception(self):
+        t = Telemetry()
+        with pytest.raises(RuntimeError):
+            with use(t):
+                raise RuntimeError
+        assert current() is NULL_TELEMETRY
+
+    def test_use_nests(self):
+        outer, inner = Telemetry(), Telemetry()
+        with use(outer):
+            with use(inner):
+                assert current() is inner
+            assert current() is outer
+
+
+class TestNullTelemetry:
+    def test_complete_noop_interface(self):
+        n = NullTelemetry()
+        n.count("x")
+        n.event("x", detail=1)
+        n.add_span("x", 1.0)
+        n.merge({"counters": {"x": 1}})
+        with n.span("x"):
+            pass
+        with n.phase("x"):
+            pass
+        assert n.snapshot() is None
+        assert not n.enabled
+
+    def test_shared_instance_is_disabled(self):
+        assert not NULL_TELEMETRY.enabled

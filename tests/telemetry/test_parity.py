@@ -1,0 +1,102 @@
+"""Telemetry parity: observing a run must not change it.
+
+The acceptance contract for the observability layer: for the same spec,
+a run under an active Telemetry produces byte-identical rows and
+summaries to a run under the default NullTelemetry, on every backend —
+and a disabled run's payload carries no telemetry key at all, so stored
+goldens are unaffected.
+"""
+
+import pytest
+
+from repro.scenarios import Runner
+from repro.scenarios.spec import DelayPolicy, ScenarioSpec
+from repro.scenarios.store import validate_payload
+from repro.telemetry import SCHEMA, Telemetry, use
+
+BACKENDS = ("reference", "compiled", "auto")
+
+
+def spec():
+    return ScenarioSpec(
+        name="parity-delays",
+        kind="delay_sweep",
+        tree="colored:9",
+        agent="alternator",
+        pairs=((0, 5),),
+        delays=DelayPolicy.sweep(6),
+    )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_rows_and_summary_identical_with_and_without_telemetry(backend):
+    plain = Runner(backend=backend).run(spec())
+    telem = Telemetry()
+    observed = Runner(backend=backend).run(spec(), telemetry=telem)
+    assert observed.rows == plain.rows
+    assert observed.summary == plain.summary
+    assert observed.ok == plain.ok
+    assert observed.spec_hash() == plain.spec_hash()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_disabled_payload_has_no_telemetry_key(backend):
+    result = Runner(backend=backend).run(spec())
+    payload = result.to_payload()
+    assert "telemetry" not in payload
+    validate_payload(payload)
+
+
+def test_enabled_payload_carries_schema_versioned_block():
+    result = Runner(backend="auto").run(spec(), telemetry=Telemetry())
+    payload = result.to_payload()
+    block = payload["telemetry"]
+    assert block["schema"] == SCHEMA
+    for key in ("counters", "spans", "phases", "events"):
+        assert isinstance(block[key], dict)
+    validate_payload(payload)
+
+
+def test_auto_backend_reports_its_dispatch_tier():
+    telem = Telemetry()
+    Runner(backend="auto").run(spec(), telemetry=telem)
+    counters = telem.snapshot()["counters"]
+    tiers = [k for k in counters if k.startswith("backend.dispatch.")]
+    assert tiers, counters
+    # alternator on a colored line is kernel-eligible: the delay sweep
+    # must report the exact tier, not a silent per-run degrade
+    assert "backend.dispatch.sweep_delays.exact" in counters
+
+
+def test_phases_cover_the_run():
+    telem = Telemetry()
+    result = Runner(backend="auto").run(spec(), telemetry=telem)
+    phases = result.telemetry["phases"]
+    assert set(phases) == {"resolve", "execute"}
+    # execute is timed by the same wall the runner's elapsed_seconds
+    # uses; it must account for (almost) all of it
+    assert phases["execute"] <= result.elapsed_seconds + 0.05
+    assert phases["execute"] >= 0
+
+
+def test_ambient_context_is_picked_up_without_explicit_seam():
+    telem = Telemetry()
+    with use(telem):
+        result = Runner(backend="auto").run(spec())
+    assert result.telemetry is not None
+    assert result.telemetry["counters"]
+
+
+def test_explicit_seam_wins_over_ambient():
+    ambient, explicit = Telemetry(), Telemetry()
+    with use(ambient):
+        Runner(backend="auto").run(spec(), telemetry=explicit)
+    assert explicit.snapshot()["counters"]
+    assert ambient.snapshot()["counters"] == {}
+
+
+def test_runner_level_seam():
+    telem = Telemetry()
+    result = Runner(backend="auto", telemetry=telem).run(spec())
+    assert result.telemetry is not None
+    assert telem.snapshot()["counters"]

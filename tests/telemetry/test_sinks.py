@@ -1,0 +1,129 @@
+"""Tests for JSONL event sinks and offline aggregation.
+
+The durability contract mirrors SweepCheckpoint's: per-record flush on
+write, torn-tail tolerance on read (a killed writer costs at most one
+record, never the stream).
+"""
+
+import json
+
+from repro.telemetry import (
+    JsonlSink,
+    Telemetry,
+    aggregate_events,
+    read_events,
+    summary_rows,
+)
+
+
+class TestJsonlSink:
+    def test_one_sorted_json_object_per_line(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JsonlSink(path)
+        sink.emit({"event": "b", "z": 1, "a": 2})
+        sink.emit({"event": "c"})
+        sink.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert lines[0] == '{"a": 2, "event": "b", "z": 1}'
+
+    def test_lazy_open_no_file_until_first_emit(self, tmp_path):
+        path = tmp_path / "sub" / "events.jsonl"
+        sink = JsonlSink(path)
+        assert not path.exists()
+        sink.emit({"event": "x"})
+        assert path.exists()
+        sink.close()
+
+    def test_appends_across_sinks(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        for name in ("first", "second"):
+            sink = JsonlSink(path)
+            sink.emit({"event": name})
+            sink.close()
+        records, skipped = read_events(path)
+        assert [r["event"] for r in records] == ["first", "second"]
+        assert skipped == 0
+
+    def test_telemetry_streams_events_and_spans(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        t = Telemetry(sink=JsonlSink(path))
+        t.event("fallback", reason="budget")
+        with t.span("work"):
+            pass
+        t.sink.close()
+        records, skipped = read_events(path)
+        assert skipped == 0
+        assert {r["event"] for r in records} == {"fallback", "span"}
+
+
+class TestReadEvents:
+    def test_missing_file_is_empty(self, tmp_path):
+        assert read_events(tmp_path / "nope.jsonl") == ([], 0)
+
+    def test_torn_tail_is_skipped_not_fatal(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with path.open("w") as fh:
+            fh.write(json.dumps({"event": "good"}) + "\n")
+            fh.write('{"event": "torn", "par')  # writer died mid-line
+        records, skipped = read_events(path)
+        assert [r["event"] for r in records] == ["good"]
+        assert skipped == 1
+
+    def test_foreign_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with path.open("w") as fh:
+            fh.write('{"not_an_event": 1}\n')
+            fh.write('[1, 2, 3]\n')
+            fh.write('\n')
+            fh.write(json.dumps({"event": "good"}) + "\n")
+        records, skipped = read_events(path)
+        assert [r["event"] for r in records] == ["good"]
+        assert skipped == 2  # the blank line costs nothing
+
+
+class TestAggregateEvents:
+    def test_rebuilds_span_aggregates(self):
+        snap = aggregate_events([
+            {"event": "span", "name": "work", "seconds": 0.5},
+            {"event": "span", "name": "work", "seconds": 0.25},
+            {"event": "fallback", "reason": "x"},
+        ])
+        assert snap["spans"]["work"] == {"count": 2, "seconds": 0.75}
+        assert snap["events"] == {"fallback": 1}
+        assert snap["schema"] == "repro.telemetry/v1"
+
+    def test_roundtrip_through_a_file(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        t = Telemetry(sink=JsonlSink(path))
+        t.event("kernel.fallback", reason="budget")
+        t.add_span("kernel/table_build", 0.125)
+        t.sink.close()
+        records, _ = read_events(path)
+        snap = aggregate_events(records)
+        assert snap["spans"]["kernel/table_build"]["seconds"] == 0.125
+        assert snap["events"]["kernel.fallback"] == 1
+
+
+class TestSummaryRows:
+    def test_rows_cover_every_section(self):
+        t = Telemetry()
+        t.count("c")
+        t.event("e")
+        with t.phase("p"):
+            pass
+        t.add_span("s", 0.5)
+        rows = summary_rows(t.snapshot())
+        kinds = {(r["metric"], r["kind"]) for r in rows}
+        assert ("phase/p", "phase") in kinds
+        assert ("c", "counter") in kinds
+        assert ("e", "event") in kinds
+        assert ("s", "span") in kinds
+
+    def test_rows_render_through_format_rows(self):
+        from repro.scenarios.runner import format_rows
+
+        t = Telemetry()
+        t.count("c", 2)
+        text = format_rows(summary_rows(t.snapshot()))
+        assert "metric" in text and "c" in text
