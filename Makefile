@@ -1,15 +1,22 @@
 PY := PYTHONPATH=src python
-BENCH_BASELINE := /tmp/BENCH_engine.baseline.json
-GOLDEN_TMP := /tmp/repro-golden-check
+# Scratch root for every gate's temporary artifacts.  CI points this at
+# the runner's temp dir; locally it defaults to /tmp.  Nothing below
+# hardcodes /tmp directly.
+RESULTS_TMP ?= /tmp
+BENCH_BASELINE := $(RESULTS_TMP)/BENCH_engine.baseline.json
+GOLDEN_TMP := $(RESULTS_TMP)/repro-golden-check
 GOLDEN_SCENARIOS := verify-small gathering-line-k3 thm31-sweep atlas-programs \
         rendezvous-relabel-line gathering-crash-k3
-FAULT_TMP := /tmp/repro-fault-smoke
+FAULT_TMP := $(RESULTS_TMP)/repro-fault-smoke
 FAULT_SCENARIOS := rendezvous-relabel-line gathering-crash-k3
-TELEMETRY_TMP := /tmp/repro-telemetry-smoke
+TELEMETRY_TMP := $(RESULTS_TMP)/repro-telemetry-smoke
+ATLAS_TMP := $(RESULTS_TMP)/repro-atlas-smoke
+ATLAS_FIXTURE := tests/scenarios/fixtures/atlas-v0.sqlite
+KERNEL_CHECK_TMP := $(RESULTS_TMP)/repro-kernel-cache-check
 
 .PHONY: test lint lint-invariants bench-smoke bench-engine scenarios-smoke \
         bench-scenarios check-regression golden-diff fault-smoke \
-        telemetry-smoke
+        telemetry-smoke atlas-smoke kernel-cache-check
 
 test:
 	$(PY) -m pytest -x -q
@@ -98,6 +105,69 @@ telemetry-smoke:
 	@echo "== offline report"
 	$(PY) -m repro telemetry report $(TELEMETRY_TMP)/warm.jsonl
 	$(PY) -m pytest tests/telemetry -q
+
+# Atlas memoization gate, exactly as CI runs it: init a fresh database,
+# bulk-import the checked-in results (incl. golden/), then run the same
+# scenario twice against it — the cold leg must record an atlas.miss and
+# really dispatch, the warm leg must be an atlas.hit with ZERO backend
+# dispatch (verified from the live event stream) and save a byte-identical
+# payload.  Finally migrate the committed v0 fixture database forward and
+# require its exported JSON to match the goldens byte for byte.
+atlas-smoke:
+	rm -rf $(ATLAS_TMP) && mkdir -p $(ATLAS_TMP)
+	@echo "== init + bulk import"
+	$(PY) -m repro atlas init --db $(ATLAS_TMP)/atlas.sqlite
+	$(PY) -m repro atlas import benchmarks/results --db $(ATLAS_TMP)/atlas.sqlite
+	$(PY) -m repro atlas stats --db $(ATLAS_TMP)/atlas.sqlite
+	@echo "== cold run (atlas miss, real dispatch)"
+	$(PY) -m repro scenarios run delays-line --atlas=$(ATLAS_TMP)/atlas.sqlite \
+	    --telemetry=$(ATLAS_TMP)/cold.jsonl --save --out $(ATLAS_TMP)/cold \
+	    > /dev/null
+	$(PY) benchmarks/check_telemetry.py $(ATLAS_TMP)/cold/delays-line.json \
+	    --expect-atlas=miss --expect-events $(ATLAS_TMP)/cold.jsonl
+	@echo "== warm run (atlas hit, zero dispatch)"
+	$(PY) -m repro scenarios run delays-line --atlas=$(ATLAS_TMP)/atlas.sqlite \
+	    --telemetry=$(ATLAS_TMP)/warm.jsonl --save --out $(ATLAS_TMP)/warm \
+	    > /dev/null
+	$(PY) benchmarks/check_telemetry.py $(ATLAS_TMP)/warm/delays-line.json \
+	    --expect-atlas=hit --expect-events $(ATLAS_TMP)/warm.jsonl
+	cmp $(ATLAS_TMP)/cold/delays-line.json $(ATLAS_TMP)/warm/delays-line.json
+	@echo "== export round-trip"
+	$(PY) -m repro atlas export delays-line --db $(ATLAS_TMP)/atlas.sqlite \
+	    --out $(ATLAS_TMP)/exported
+	cmp $(ATLAS_TMP)/exported/delays-line.json $(ATLAS_TMP)/cold/delays-line.json
+	@echo "== v0 schema migration"
+	cp $(ATLAS_FIXTURE) $(ATLAS_TMP)/v0.sqlite
+	$(PY) -m repro atlas init --db $(ATLAS_TMP)/v0.sqlite
+	$(PY) -m repro atlas export --all --db $(ATLAS_TMP)/v0.sqlite \
+	    --out $(ATLAS_TMP)/migrated
+	@for name in $(GOLDEN_SCENARIOS); do \
+	    echo "== migrated $$name"; \
+	    $(PY) -m repro scenarios diff $(ATLAS_TMP)/migrated/$$name.json \
+	        benchmarks/results/golden/$$name.json || exit 1; \
+	    cmp $(ATLAS_TMP)/migrated/$$name.json \
+	        benchmarks/results/golden/$$name.json || exit 1; \
+	done
+	$(PY) -m pytest tests/scenarios/test_atlas_store.py \
+	    tests/scenarios/test_atlas_runner.py tests/scenarios/test_atlas_cli.py -q
+
+# CI kernel-cache gate: with REPRO_KERNEL_CACHE pointing at a persisted
+# cache directory (actions/cache keeps it across runs), populate it once,
+# then require a FRESH process to report kernel.table.disk_hit > 0 — the
+# only hit kind an empty in-process memo can produce.
+kernel-cache-check:
+ifndef REPRO_KERNEL_CACHE
+	$(error REPRO_KERNEL_CACHE must point at the persisted kernel cache directory)
+endif
+	@echo "== populate $(REPRO_KERNEL_CACHE)"
+	$(PY) -m repro scenarios run delays-line --backend auto > /dev/null
+	@echo "== fresh process must hit the on-disk table cache"
+	rm -rf $(KERNEL_CHECK_TMP) && mkdir -p $(KERNEL_CHECK_TMP)
+	$(PY) -m repro scenarios run delays-line --backend auto \
+	    --telemetry=$(KERNEL_CHECK_TMP)/warm.jsonl --save \
+	    --out $(KERNEL_CHECK_TMP) > /dev/null
+	$(PY) benchmarks/check_telemetry.py $(KERNEL_CHECK_TMP)/delays-line.json \
+	    --expect-disk-hits --expect-events $(KERNEL_CHECK_TMP)/warm.jsonl
 
 # Quick pass over the scenario registry (the experiment tables, small grids).
 scenarios-smoke:

@@ -12,6 +12,7 @@ to accumulate are gone).  A checked-in golden sample lives under
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -45,6 +46,15 @@ def run_scenario(
     else:
         result = once()
     path = ResultStore(out_dir or RESULTS_DIR).save(result)
+    # Mirror into the atlas when REPRO_ATLAS names a database.  Store
+    # only — no pre-dispatch lookup — so bench timings always measure a
+    # real run and never an sqlite read.
+    atlas_path = os.environ.get("REPRO_ATLAS")
+    if atlas_path:
+        from repro.scenarios import AtlasStore
+
+        with AtlasStore(atlas_path) as atlas:
+            atlas.save(result)
     print(f"\n==== {name} ====\n{result.table()}\n-> {path}\n")
     return result
 

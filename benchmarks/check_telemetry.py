@@ -13,8 +13,23 @@ which asserts the observability contract end to end:
 - with ``--expect-cache-hits``, the kernel successor-table cache
   reported at least one hit (memo or disk) — the warm-cache leg of the
   smoke proves the on-disk cache actually round-trips across processes;
+- with ``--expect-disk-hits``, specifically ``kernel.table.disk_hit``
+  must be positive (the CI kernel-cache gate: a fresh process can only
+  hit *disk*, so this proves the persisted cache was actually read);
 - with ``--expect-events PATH``, the JSONL event stream at PATH parses
   and is non-empty.
+
+``make atlas-smoke`` adds the memoization contract via ``--expect-atlas``:
+
+- ``--expect-atlas=miss``: the payload's telemetry block recorded an
+  ``atlas.miss`` event and the usual dispatch/phase checks hold (the
+  run really computed);
+- ``--expect-atlas=hit``: an atlas hit returns the *stored payload
+  verbatim* — its embedded telemetry (if any) describes the original
+  run — so the hit is judged from the live JSONL stream instead
+  (``--expect-events`` required): an ``atlas.hit`` event must be
+  present, and there must be zero backend activity — no ``execute``
+  phase span, no ``backend.*`` event of any kind.
 
 Exit status: 0 = contract holds, 1 = violation, 2 = unusable input.
 """
@@ -37,7 +52,7 @@ def fail(msg: str) -> int:
     return 1
 
 
-def check_payload(payload: dict, expect_cache_hits: bool) -> int:
+def _validate(payload: dict) -> int:
     sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))
     from repro.scenarios.spec import ScenarioError
     from repro.scenarios.store import validate_payload
@@ -46,6 +61,17 @@ def check_payload(payload: dict, expect_cache_hits: bool) -> int:
         validate_payload(payload)
     except ScenarioError as exc:
         return fail(f"payload failed store validation: {exc}")
+    return 0
+
+
+def check_payload(
+    payload: dict,
+    expect_cache_hits: bool,
+    expect_disk_hits: bool = False,
+    expect_atlas_miss: bool = False,
+) -> int:
+    if _validate(payload):
+        return 1
 
     telemetry = payload.get("telemetry")
     if telemetry is None:
@@ -83,6 +109,62 @@ def check_payload(payload: dict, expect_cache_hits: bool) -> int:
             f"kernel table cache hits: memo={counters.get('kernel.table.memo_hit', 0)} "
             f"disk={counters.get('kernel.table.disk_hit', 0)}"
         )
+
+    if expect_disk_hits:
+        disk = counters.get("kernel.table.disk_hit", 0)
+        if disk < 1:
+            return fail(
+                "expected kernel.table.disk_hit > 0 (persisted cache never read; "
+                f"kernel counters: { {k: v for k, v in counters.items() if k.startswith('kernel.')} })"
+            )
+        print(f"kernel table disk hits: {disk}")
+
+    if expect_atlas_miss:
+        events = telemetry.get("events", {})
+        if events.get("atlas.miss", 0) < 1:
+            return fail(
+                f"expected an atlas.miss event, saw events {sorted(events)}"
+            )
+        print(f"atlas miss recorded: atlas.miss={events['atlas.miss']}")
+    return 0
+
+
+def check_atlas_hit(payload: dict, events_path: pathlib.Path) -> int:
+    """The warm leg: the payload is the stored (cold) payload verbatim, so
+    only structural validation applies to it; the hit itself is proven
+    from the live event stream — atlas.hit fired, and nothing that could
+    only happen under a backend dispatch (the execute phase span, any
+    backend.* event) appears."""
+    if _validate(payload):
+        return 1
+    from repro.telemetry import read_events
+
+    records, skipped = read_events(events_path)
+    if not records:
+        return fail(f"event stream {events_path} is empty")
+    if skipped:
+        return fail(f"event stream {events_path} has {skipped} unparseable lines")
+    hits = [r for r in records if r.get("event") == "atlas.hit"]
+    if not hits:
+        return fail(
+            "expected an atlas.hit event in the live stream, saw "
+            f"{sorted({r.get('event') for r in records})}"
+        )
+    executed = [
+        r for r in records
+        if r.get("event") == "span" and r.get("name") == "execute"
+    ]
+    if executed:
+        return fail("atlas hit still ran the execute phase — memoization leaked a dispatch")
+    backend = [r for r in records if str(r.get("event", "")).startswith("backend.")]
+    if backend:
+        return fail(
+            f"atlas hit emitted backend events: {sorted({r['event'] for r in backend})}"
+        )
+    print(
+        f"atlas hit verified from {len(records)} live events: "
+        "atlas.hit present, no execute span, no backend.* events"
+    )
     return 0
 
 
@@ -103,6 +185,10 @@ def main(argv=None) -> int:
     parser.add_argument("payload", help="saved scenario result JSON")
     parser.add_argument("--expect-cache-hits", action="store_true",
                         help="require kernel table cache hits > 0")
+    parser.add_argument("--expect-disk-hits", action="store_true",
+                        help="require kernel.table.disk_hit > 0 (persisted cache)")
+    parser.add_argument("--expect-atlas", choices=("hit", "miss"), default=None,
+                        help="assert the atlas memoization leg (hit needs --expect-events)")
     parser.add_argument("--expect-events", default=None, metavar="PATH",
                         help="require a non-empty, fully-parseable JSONL stream")
     args = parser.parse_args(argv)
@@ -114,9 +200,21 @@ def main(argv=None) -> int:
         print(f"unusable payload {path}: {exc}")
         return 2
 
-    status = check_payload(payload, args.expect_cache_hits)
-    if status == 0 and args.expect_events:
-        status = check_events(pathlib.Path(args.expect_events))
+    if args.expect_atlas == "hit":
+        if not args.expect_events:
+            print("--expect-atlas=hit requires --expect-events (hit is judged "
+                  "from the live stream, not the cached payload)")
+            return 2
+        status = check_atlas_hit(payload, pathlib.Path(args.expect_events))
+    else:
+        status = check_payload(
+            payload,
+            args.expect_cache_hits,
+            expect_disk_hits=args.expect_disk_hits,
+            expect_atlas_miss=args.expect_atlas == "miss",
+        )
+        if status == 0 and args.expect_events:
+            status = check_events(pathlib.Path(args.expect_events))
     if status == 0:
         print("telemetry contract: ok")
     return status

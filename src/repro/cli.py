@@ -5,7 +5,9 @@ Commands
 solve        run the Theorem 4.1 agent on a generated tree
 baseline     run the arbitrary-delay baseline under a chosen delay
 delays       decide every delay θ ≤ Θ in one batch-solver pass
-atlas        feasibility classification over all trees of a given size
+atlas        feasibility classification over all trees of a given size;
+             subcommands ``init|import|stats|export|vacuum`` manage the
+             durable atlas database (SQLite, spec_hash-memoized)
 atlas-programs  the program memory atlas (lowered → minimized → γ → gaps)
 gap          print the headline exponential-gap table (E7)
 thm31        build + certify the Theorem 3.1 adversary for a walker family
@@ -135,6 +137,59 @@ def _cmd_atlas(args: argparse.Namespace) -> int:
     result = _runner(args).run("atlas", params={"n": args.n})
     print(result.table())
     return 0
+
+
+def _cmd_atlas_db(args: argparse.Namespace) -> int:
+    """The durable atlas database: ``repro atlas init|import|stats|
+    export|vacuum``.  One SQLite file (WAL, versioned schema) keyed by
+    ``spec_hash`` — the memoization substrate behind
+    ``scenarios run --atlas``."""
+    from .scenarios.atlas import AtlasStore, import_paths
+
+    with AtlasStore(args.db) as store:
+        if args.atlas_cmd == "init":
+            # Opening is initializing (and migrating, when handed an
+            # older schema) — print where it landed.
+            print(f"atlas {store.path}: schema v{store.schema_version}, "
+                  f"{len(store.names())} results")
+            return 0
+
+        if args.atlas_cmd == "import":
+            names = import_paths(store, args.paths)
+            for name in names:
+                print(f"imported {name}")
+            print(f"atlas {store.path}: {len(names)} results imported")
+            return 0
+
+        if args.atlas_cmd == "stats":
+            stats = store.stats()
+            for key in ("path", "schema_version", "results",
+                        "distinct_spec_hashes", "db_bytes"):
+                print(f"{key:>22}: {stats[key]}")
+            for group in ("by_kind", "by_backend"):
+                for key, n in stats[group].items():
+                    print(f"{group + '/' + key:>22}: {n}")
+            return 0
+
+        if args.atlas_cmd == "export":
+            names = store.names() if args.all else args.names
+            if not names:
+                raise SystemExit(
+                    "error: atlas export needs result NAMEs or --all"
+                )
+            for name in names:
+                print(f"wrote {store.export(name, args.out)}")
+            return 0
+
+        if args.atlas_cmd == "vacuum":
+            before = store.stats()["db_bytes"]
+            store.vacuum()
+            print(f"atlas {store.path}: vacuumed "
+                  f"({before} -> {store.stats()['db_bytes']} bytes, "
+                  f"integrity ok)")
+            return 0
+
+    raise SystemExit(f"unknown atlas subcommand {args.atlas_cmd!r}")
 
 
 def _cmd_atlas_programs(args: argparse.Namespace) -> int:
@@ -453,16 +508,30 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
             if args.telemetry is not True:
                 sink = JsonlSink(args.telemetry)
             telem = Telemetry(sink=sink)
-        runner = Runner(backend=args.backend, processes=args.processes)
+        atlas_store = None
+        if args.atlas is not None:
+            from .scenarios.atlas import DEFAULT_ATLAS_PATH, AtlasStore
+
+            atlas_store = AtlasStore(
+                DEFAULT_ATLAS_PATH if args.atlas is True else args.atlas
+            )
+        runner = Runner(
+            backend=args.backend, processes=args.processes, atlas=atlas_store
+        )
         result = runner.run(
             args.name, seed=args.seed, params=params or None, telemetry=telem
         )
         print(result.table())
+        atlas_note = ""
+        if atlas_store is not None:
+            atlas_note = (
+                f" atlas={'hit' if result.cached_payload is not None else 'miss'}"
+            )
         print(
             f"\nscenario={result.name} kind={result.spec.kind} "
             f"backend={result.backend} rows={len(result.rows)} "
             f"ok={result.ok} elapsed={result.elapsed_seconds:.3f}s "
-            f"spec_hash={result.spec_hash()}"
+            f"spec_hash={result.spec_hash()}{atlas_note}"
         )
         if telem is not None:
             from .scenarios.runner import format_rows
@@ -471,8 +540,15 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
             if sink is not None:
                 sink.close()
                 print(f"telemetry events: {args.telemetry}")
+            # The *live* snapshot, not the payload block: an atlas hit
+            # returns the stored payload verbatim (whose telemetry, if
+            # any, describes the original run), while this table must
+            # describe what just happened — the atlas.hit event and the
+            # absence of any backend dispatch.
             print("\n# telemetry")
-            print(format_rows(summary_rows(result.telemetry)))
+            print(format_rows(summary_rows(telem.snapshot())))
+        if atlas_store is not None:
+            atlas_store.close()
         if args.save:
             path = ResultStore(args.out).save(result)
             print(f"wrote {path}")
@@ -577,10 +653,38 @@ def _parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_delays)
 
     # atlas/experiments wrap backend-agnostic analysis drivers; they take
-    # no --backend since the flag would be a no-op
-    p = sub.add_parser("atlas", help="feasibility atlas over all n-node trees")
+    # no --backend since the flag would be a no-op.  The bare command
+    # keeps its historical meaning (the feasibility table); the durable
+    # atlas *database* lives behind the subcommands.
+    p = sub.add_parser(
+        "atlas",
+        help="feasibility atlas over all n-node trees; with a subcommand, "
+             "manage the durable atlas database",
+    )
     p.add_argument("-n", type=int, default=7)
     p.set_defaults(fn=_cmd_atlas)
+    asub = p.add_subparsers(dest="atlas_cmd", required=False)
+
+    def _atlas_db_parser(name: str, help_: str):
+        ap = asub.add_parser(name, help=help_)
+        ap.add_argument("--db", default="benchmarks/atlas.sqlite",
+                        help="atlas database path")
+        ap.set_defaults(fn=_cmd_atlas_db)
+        return ap
+
+    _atlas_db_parser("init", "create (or migrate) the atlas database")
+    ap = _atlas_db_parser("import", "bulk-import loose result JSON")
+    ap.add_argument("paths", nargs="+",
+                    help="result JSON files and/or directories "
+                         "(directories are walked recursively)")
+    _atlas_db_parser("stats", "row counts, schema version, file size")
+    ap = _atlas_db_parser("export", "write rows back to loose JSON "
+                                    "(byte-identical)")
+    ap.add_argument("names", nargs="*", help="result names to export")
+    ap.add_argument("--all", action="store_true", help="export every row")
+    ap.add_argument("--out", default="benchmarks/results",
+                    help="destination directory")
+    _atlas_db_parser("vacuum", "checkpoint the WAL, compact, verify integrity")
 
     p = sub.add_parser(
         "atlas-programs",
@@ -704,6 +808,12 @@ def _parser() -> argparse.ArgumentParser:
                     metavar="PATH",
                     help="collect telemetry and print a summary table; "
                          "with PATH, also stream events to a JSONL file")
+    sp.add_argument("--atlas", nargs="?", const=True, default=None,
+                    metavar="PATH",
+                    help="memoize through the durable atlas database "
+                         "(default benchmarks/atlas.sqlite): return the "
+                         "stored result on a spec_hash hit, record the "
+                         "result on a miss")
     _add_backend_option(sp)
     sp.set_defaults(fn=_cmd_scenarios)
 

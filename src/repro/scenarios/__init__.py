@@ -17,6 +17,7 @@ Layers routed through here:
 - future workloads register new specs (and, for new kinds, executors).
 """
 
+from .atlas import ATLAS_SCHEMA_VERSION, DEFAULT_ATLAS_PATH, AtlasStore
 from .backends import (
     AutoBackend,
     Backend,
@@ -65,4 +66,7 @@ __all__ = [
     "ResultStore",
     "validate_payload",
     "diff_payloads",
+    "AtlasStore",
+    "ATLAS_SCHEMA_VERSION",
+    "DEFAULT_ATLAS_PATH",
 ]

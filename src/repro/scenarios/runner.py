@@ -89,6 +89,12 @@ class ScenarioResult:
     run (``repro.telemetry/v1``); ``None`` — the default — keeps the
     payload byte-identical to a pre-telemetry run, so goldens and diffs
     are untouched unless a caller opts in.
+
+    ``created_unix`` is wall-clock provenance stamped by the runner (its
+    one annotated RPR003 seam); ``cached_payload`` marks a result served
+    from the atlas (:mod:`repro.scenarios.atlas`) — ``to_payload``
+    returns that stored document verbatim, so an atlas hit re-saved
+    through any store is byte-identical to the original export.
     """
 
     spec: ScenarioSpec
@@ -97,6 +103,8 @@ class ScenarioResult:
     summary: dict
     elapsed_seconds: float
     telemetry: Optional[dict] = field(default=None)
+    created_unix: Optional[float] = field(default=None)
+    cached_payload: Optional[dict] = field(default=None)
 
     @property
     def name(self) -> str:
@@ -119,6 +127,11 @@ class ScenarioResult:
         present only when the run collected it, excluded from diffs
         either way (``store.comparable`` picks rows + spec_hash only).
         """
+        if self.cached_payload is not None:
+            return self.cached_payload
+        timings: dict = {"elapsed_seconds": round(self.elapsed_seconds, 4)}
+        if self.created_unix is not None:
+            timings["created_unix"] = round(self.created_unix, 3)
         payload = {
             "schema": SCHEMA,
             "scenario": self.spec.name,
@@ -128,12 +141,28 @@ class ScenarioResult:
             "backend": self.backend,
             "rows": self.rows,
             "summary": self.summary,
-            "timings": {"elapsed_seconds": round(self.elapsed_seconds, 4)},
+            "timings": timings,
             "environment": _environment_provenance(),
         }
         if self.telemetry is not None:
             payload["telemetry"] = self.telemetry
         return payload
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ScenarioResult":
+        """Rehydrate a stored payload (the atlas-hit path).  The payload
+        is kept verbatim, so ``to_payload`` round-trips byte-identically."""
+        timings = payload.get("timings", {})
+        return cls(
+            spec=ScenarioSpec.from_json(payload["spec"]),
+            backend=payload["backend"],
+            rows=payload["rows"],
+            summary=payload["summary"],
+            elapsed_seconds=float(timings.get("elapsed_seconds", 0.0)),
+            telemetry=payload.get("telemetry"),
+            created_unix=timings.get("created_unix"),
+            cached_payload=payload,
+        )
 
 
 class Runner:
@@ -150,6 +179,13 @@ class Runner:
     current`), which is the no-op :data:`~repro.telemetry.NULL_TELEMETRY`
     unless a caller activated one — telemetry is observationally inert
     and off by default.
+
+    ``atlas=`` (an :class:`~repro.scenarios.atlas.AtlasStore`, or a path
+    to one) memoizes runs by ``spec_hash``: ``run`` consults the atlas
+    before dispatching any backend, returns the stored result on a hit
+    (telemetry event ``atlas.hit``, zero backend dispatch), and records
+    the computed result after a miss (``atlas.miss`` then
+    ``atlas.store``).
     """
 
     def __init__(
@@ -158,10 +194,22 @@ class Runner:
         *,
         processes: Optional[int] = None,
         telemetry=None,
+        atlas=None,
     ):
         self._backend = backend
         self._processes = processes
         self._telemetry = telemetry
+        self._atlas = atlas
+
+    def _resolve_atlas(self, override):
+        from .atlas import resolve_atlas
+
+        if override is not None:
+            return resolve_atlas(override)
+        resolved = resolve_atlas(self._atlas)
+        if resolved is not self._atlas:
+            self._atlas = resolved  # open a path-configured atlas once
+        return resolved
 
     def resolve(self, scenario: Union[str, ScenarioSpec]) -> ScenarioSpec:
         if isinstance(scenario, ScenarioSpec):
@@ -178,6 +226,7 @@ class Runner:
         seed: Optional[int] = None,
         params: Optional[Mapping[str, Any]] = None,
         telemetry=None,
+        atlas=None,
         **overrides: Any,
     ) -> ScenarioResult:
         from ..telemetry import current as telemetry_current
@@ -207,7 +256,19 @@ class Runner:
                     f"(its drivers pick their own engines); drop the "
                     f"{resolved.name!r} backend selection"
                 )
+            atlas_store = self._resolve_atlas(atlas)
+            if atlas_store is not None:
+                spec_hash = spec.spec_hash()
+                with telem.phase("atlas"):
+                    cached = atlas_store.lookup(spec_hash)
+                if cached is not None:
+                    telem.event("atlas.hit", spec_hash=spec_hash,
+                                scenario=spec.name, db=str(atlas_store.path))
+                    return ScenarioResult.from_payload(cached)
+                telem.event("atlas.miss", spec_hash=spec_hash,
+                            scenario=spec.name, db=str(atlas_store.path))
             rng = random.Random(spec.seed)
+            created = time.time()  # repro-lint: disable=RPR003 -- provenance timestamp only: created_unix is the atlas store's created-at column, recorded in the result envelope and excluded from scenario diffs; no verdict reads it
             start = time.perf_counter()  # repro-lint: disable=RPR003 -- provenance timing only: elapsed_seconds is recorded in the result envelope and excluded from scenario diffs; no verdict reads it
             with telem.phase("execute"):
                 rows, summary = execute(spec, resolved, rng)
@@ -216,11 +277,17 @@ class Runner:
             raise ScenarioError(
                 f"executor for kind {spec.kind!r} returned no 'ok' verdict"
             )
-        return ScenarioResult(
+        result = ScenarioResult(
             spec=spec,
             backend=resolved.name,
             rows=rows,
             summary=summary,
             elapsed_seconds=elapsed,
             telemetry=telem.snapshot() if telem.enabled else None,
+            created_unix=created,
         )
+        if atlas_store is not None:
+            atlas_store.save(result)
+            telem.event("atlas.store", spec_hash=result.spec_hash(),
+                        scenario=result.name, db=str(atlas_store.path))
+        return result

@@ -36,7 +36,7 @@ from typing import Union
 from .runner import SCHEMA, ScenarioResult
 from .spec import ScenarioError
 
-__all__ = ["ResultStore", "validate_payload", "diff_payloads"]
+__all__ = ["ResultStore", "validate_payload", "diff_payloads", "comparable"]
 
 _SCALAR = (str, int, float, bool, type(None))
 
